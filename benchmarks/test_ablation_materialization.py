@@ -1,0 +1,69 @@
+"""Ablation: materialization (caching) policies from Figure-7 costs.
+
+Section 3.3: "failures are not cheap", and caching artifacts at the
+right stages avoids re-running expensive upstream work. This bench
+derives per-stage failure rates from the generated corpus, builds the
+chain model from the measured Figure-7 cost shares, and compares
+no-caching / greedy / optimal policies.
+"""
+
+from collections import Counter
+
+from repro.analysis import pipeline_level
+from repro.mlmd import ExecutionState
+from repro.reporting import format_table
+from repro.waste import (
+    expected_run_cost,
+    greedy_policy,
+    optimal_policy,
+    stages_from_cost_shares,
+)
+
+from conftest import emit, once
+
+
+def _failure_rates(corpus) -> dict[str, float]:
+    totals: Counter = Counter()
+    failures: Counter = Counter()
+    for cid in corpus.production_context_ids:
+        for execution in corpus.store.get_executions_by_context(cid):
+            group = str(execution.get("group", "custom"))
+            totals[group] += 1
+            if execution.state is ExecutionState.FAILED:
+                failures[group] += 1
+    return {group: failures[group] / totals[group]
+            for group in totals if totals[group]}
+
+
+def test_materialization_policy(benchmark, bench_corpus):
+    shares = pipeline_level.cost_breakdown(
+        bench_corpus.store, bench_corpus.production_context_ids)
+    rates = _failure_rates(bench_corpus)
+    stages = stages_from_cost_shares(shares, rates)
+
+    def _solve():
+        return optimal_policy(stages), greedy_policy(stages)
+
+    (optimal_set, optimal_cost), (greedy_set, greedy_cost) = \
+        once(benchmark, _solve)
+    baseline = expected_run_cost(stages, frozenset())
+    rows = [
+        ("no caching", "-", baseline, 0.0),
+        ("greedy", ",".join(sorted(greedy_set)) or "-", greedy_cost,
+         1.0 - greedy_cost / baseline),
+        ("optimal", ",".join(sorted(optimal_set)) or "-", optimal_cost,
+         1.0 - optimal_cost / baseline),
+    ]
+    emit("\n".join([
+        "== Ablation: artifact materialization policy (Section 3.3) ==",
+        "measured per-stage failure rates: "
+        + ", ".join(f"{g}={r:.3f}" for g, r in sorted(rates.items())),
+        format_table(("policy", "cached stages", "expected cost/run",
+                      "saving"), rows),
+    ]))
+    assert optimal_cost <= greedy_cost + 1e-9
+    assert optimal_cost <= baseline + 1e-9
+    # With non-trivial trainer failure rates, caching the pre-trainer
+    # stages pays: the optimal policy is not "cache nothing".
+    if rates.get("training", 0.0) > 0.01:
+        assert optimal_cost < baseline

@@ -1,0 +1,53 @@
+"""Figure 10: model freshness vs wasted computation."""
+
+from repro.corpus import calibration
+from repro.reporting import curve, format_table
+
+from conftest import emit, once
+
+
+def test_fig10a_staged_curves(benchmark, waste_evaluation):
+    evaluation = once(benchmark, lambda: waste_evaluation)
+    rows = []
+    for name, tradeoff in evaluation.curves.items():
+        rows.append((
+            name,
+            tradeoff.waste_cut_at_freshness(1.0),
+            tradeoff.waste_cut_at_freshness(0.95),
+            tradeoff.waste_cut_at_freshness(0.8),
+        ))
+    best = evaluation.curves["RF:Validation"]
+    emit("\n".join([
+        "== Figure 10(a): freshness vs wasted computation ==",
+        format_table(("model", "waste cut @F=1.0", "@F>=0.95",
+                      "@F>=0.8"), rows),
+        f"(paper: {calibration.PAPER_WASTE_CUT_AT_FULL_FRESHNESS:.0%} of "
+        "waste recoverable at full freshness)",
+        curve(best.points(), title="RF:Validation tradeoff",
+              x_label="wasted computation", y_label="freshness"),
+    ]))
+    # Headline result: a large chunk of waste is recoverable with little
+    # or no freshness loss, using the strongest variant.
+    assert best.waste_cut_at_freshness(0.95) \
+        >= calibration.PAPER_WASTE_CUT_AT_FULL_FRESHNESS
+    # Cheaper variants recover less at strict freshness.
+    assert evaluation.curves["RF:Input"].waste_cut_at_freshness(0.95) \
+        <= best.waste_cut_at_freshness(0.95)
+
+
+def test_fig10b_ablation_curves(benchmark, waste_ablation):
+    from repro.waste import tradeoff_curve
+
+    curves = once(benchmark, lambda: {
+        name: tradeoff_curve(policy)
+        for name, policy in waste_ablation.items()
+    })
+    rows = [(name, c.waste_cut_at_freshness(0.95),
+             c.waste_cut_at_freshness(0.8))
+            for name, c in curves.items()]
+    emit("== Figure 10(b): ablation tradeoff curves ==\n"
+         + format_table(("model", "waste cut @F>=0.95", "@F>=0.8"), rows))
+    # Paper: model features alone are the least effective by a long shot.
+    cut_at_80 = {name: c.waste_cut_at_freshness(0.8)
+                 for name, c in curves.items()}
+    assert cut_at_80["RF:Model-Type"] <= max(cut_at_80.values())

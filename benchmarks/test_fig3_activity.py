@@ -1,0 +1,99 @@
+"""Figure 3(a)/(b)/(d)/(e): pipeline lifespan and training cadence."""
+
+import numpy as np
+
+from repro.analysis import pipeline_level
+from repro.corpus import calibration
+from repro.reporting import format_table, histogram, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_fig3a_lifespan(benchmark, bench_corpus):
+    values = once(benchmark, pipeline_level.lifespans,
+                  bench_corpus.store,
+                  bench_corpus.production_context_ids)
+    values = np.asarray(values)
+    emit("\n".join([
+        "== Figure 3(a): pipeline lifespan (days) ==",
+        paper_vs_measured([
+            ("mean lifespan (days)", calibration.PAPER_MEAN_LIFESPAN_DAYS,
+             float(values.mean())),
+            ("max lifespan (days)", calibration.PAPER_CORPUS_SPAN_DAYS,
+             float(values.max())),
+        ]),
+        histogram(values, bins=10, title="lifespan histogram"),
+    ]))
+    # Shape: mean in the tens of days, some pipelines span the corpus.
+    assert 10 < values.mean() < 80
+    assert values.max() > 0.6 * calibration.PAPER_CORPUS_SPAN_DAYS
+
+
+def test_fig3b_models_per_day(benchmark, bench_corpus):
+    values = once(benchmark, pipeline_level.models_per_day,
+                  bench_corpus.store,
+                  bench_corpus.production_context_ids)
+    values = np.asarray(values)
+    frac_over_100 = float((values > 100).mean())
+    emit("\n".join([
+        "== Figure 3(b): models trained per day ==",
+        paper_vs_measured([
+            ("mean models/day", calibration.PAPER_MEAN_MODELS_PER_DAY,
+             float(values.mean())),
+            ("median models/day", 1.0, float(np.median(values))),
+            ("frac pipelines > 100/day",
+             calibration.PAPER_FRAC_PIPELINES_OVER_100_MODELS_PER_DAY,
+             frac_over_100),
+        ]),
+        histogram(values, bins=10, log=True,
+                  title="models/day histogram (log bins)"),
+    ]))
+    # Shape: mode ~1/day, heavy tail.
+    assert 0.3 < np.median(values) < 4.0
+    assert values.max() > 20
+
+
+def test_fig3d_lifespan_by_type(benchmark, bench_corpus):
+    by_family = once(benchmark, pipeline_level.lifespan_by_model_type,
+                     bench_corpus.store,
+                     bench_corpus.production_context_ids)
+    rows = [(family, float(np.mean(values)), float(np.median(values)),
+             len(values)) for family, values in sorted(by_family.items())]
+    emit("== Figure 3(d): lifespan by model family ==\n"
+         + format_table(("family", "mean days", "median days", "n"), rows))
+    # Paper: linear-model pipelines outlive DNN pipelines.
+    if "Linear" in by_family and "DNN" in by_family:
+        assert np.mean(by_family["Linear"]) > np.mean(by_family["DNN"])
+
+
+def test_fig3e_cadence_by_type(benchmark, bench_corpus):
+    by_family = once(benchmark, pipeline_level.cadence_by_model_type,
+                     bench_corpus.store,
+                     bench_corpus.production_context_ids)
+    rows = []
+    for family, values in sorted(by_family.items()):
+        log_values = np.log(np.asarray(values) + 1e-9)
+        rows.append((family, float(np.mean(values)),
+                     float(np.std(log_values)), len(values)))
+    emit("== Figure 3(e): cadence by model family ==\n"
+         + format_table(("family", "mean models/day", "log-spread", "n"),
+                        rows))
+    # Paper: DNN cadence is the most diverse. At bench scale the
+    # per-family spread estimates carry real sampling error (tens of
+    # pipelines per family), so assert comparability rather than strict
+    # dominance.
+    spreads = {family: np.std(np.log(np.asarray(v) + 1e-9))
+               for family, v in by_family.items() if len(v) >= 5}
+    if "DNN" in spreads and len(spreads) > 1:
+        others = [s for f, s in spreads.items() if f != "DNN"]
+        assert spreads["DNN"] >= 0.7 * max(others)
+
+
+def test_trace_sizes(benchmark, bench_corpus):
+    sizes = once(benchmark, pipeline_level.trace_sizes,
+                 bench_corpus.store, bench_corpus.production_context_ids)
+    emit("== Trace sizes (Section 3.1; paper max 6953 nodes) ==\n"
+         + paper_vs_measured([
+             ("max trace nodes", calibration.PAPER_MAX_TRACE_NODES,
+              float(max(sizes)))]))
+    assert max(sizes) > 500  # traces genuinely grow large

@@ -1,0 +1,72 @@
+"""Figure 3(c)/(f) and Section 3.2: input-data complexity."""
+
+import numpy as np
+
+from repro.analysis import pipeline_level
+from repro.corpus import calibration
+from repro.reporting import format_table, histogram, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_fig3c_feature_count(benchmark, bench_corpus):
+    values = once(benchmark, pipeline_level.feature_counts,
+                  bench_corpus.store,
+                  bench_corpus.production_context_ids)
+    values = np.asarray(values)
+    frac_small = float((values <= 100).mean())
+    emit("\n".join([
+        "== Figure 3(c): input feature counts ==",
+        paper_vs_measured([
+            ("frac pipelines <= 100 features", 0.85, frac_small),
+        ]),
+        f"max feature count: {values.max()}",
+        histogram(values, bins=10, log=True,
+                  title="feature count histogram (log bins)"),
+    ]))
+    # Shape: vast majority small, heavy tail into the thousands.
+    assert frac_small > 0.7
+    assert values.max() > 300
+
+
+def test_fig3f_feature_profile(benchmark, bench_corpus):
+    profile = once(benchmark, pipeline_level.feature_profile,
+                   bench_corpus.store,
+                   bench_corpus.production_context_ids)
+    rows = [
+        ("categorical feature fraction",
+         calibration.PAPER_CATEGORICAL_FEATURE_FRACTION,
+         profile["categorical_fraction_mean"]),
+        ("mean categorical domain size",
+         calibration.PAPER_MEAN_CATEGORICAL_DOMAIN,
+         profile["mean_domain_size"]),
+    ]
+    by_family = profile["mean_domain_by_family"]
+    if "DNN" in by_family:
+        rows.append(("mean domain, DNN pipelines",
+                     calibration.PAPER_MEAN_DOMAIN_DNN, by_family["DNN"]))
+    if "Linear" in by_family:
+        rows.append(("mean domain, Linear pipelines",
+                     calibration.PAPER_MEAN_DOMAIN_LINEAR,
+                     by_family["Linear"]))
+    emit("== Figure 3(f) / Section 3.2: feature profile ==\n"
+         + paper_vs_measured(rows))
+    # Shape: roughly half categorical; domains in the millions; linear
+    # pipelines see the largest domains.
+    assert 0.4 < profile["categorical_fraction_mean"] < 0.65
+    assert profile["mean_domain_size"] > 1e6
+    if "DNN" in by_family and "Linear" in by_family:
+        assert by_family["Linear"] > by_family["DNN"]
+
+
+def test_feature_count_summary_table(benchmark, bench_report):
+    summary = once(benchmark, lambda: bench_report["fig3c_feature_count"])
+    emit("== Feature-count distribution summary ==\n"
+         + format_table(("stat", "value"), [
+             ("count", summary.count),
+             ("mean", summary.mean),
+             ("median", summary.median),
+             ("p90", summary.p90),
+             ("max", summary.maximum),
+         ]))
+    assert summary.count > 0

@@ -1,0 +1,28 @@
+"""Figure 4: analyzer usage across pipelines and across executions."""
+
+from repro.analysis import pipeline_level
+from repro.reporting import bar_chart
+
+from conftest import emit, once
+
+
+def test_fig4_analyzer_usage(benchmark, bench_corpus):
+    usage = once(benchmark, pipeline_level.analyzer_usage,
+                 bench_corpus.store, bench_corpus.production_context_ids)
+    presence = dict(sorted(usage["presence"].items(),
+                           key=lambda kv: -kv[1]))
+    totals = dict(sorted(usage["usage"].items(), key=lambda kv: -kv[1]))
+    emit("\n".join([
+        "== Figure 4 (top): % pipelines referencing each analyzer ==",
+        bar_chart(presence),
+        "== Figure 4 (bottom): share of total analyzer invocations ==",
+        bar_chart(totals),
+    ]))
+    # Paper: vocabulary dominates both views, even more so by usage.
+    assert max(presence, key=presence.get) == "vocabulary"
+    assert max(totals, key=totals.get) == "vocabulary"
+    assert totals["vocabulary"] > 0.4
+    # Custom analyses appear in several pipelines but account for a much
+    # smaller share of total usage.
+    if "custom" in presence:
+        assert totals.get("custom", 0.0) < presence["custom"]

@@ -1,0 +1,28 @@
+"""Figure 5: model-architecture mix across Trainer runs."""
+
+from repro.analysis import pipeline_level
+from repro.corpus import calibration
+from repro.reporting import bar_chart, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_fig5_model_mix(benchmark, bench_corpus):
+    mix = once(benchmark, pipeline_level.model_mix,
+               bench_corpus.store, bench_corpus.production_context_ids)
+    rows = [
+        (name, calibration.PAPER_MODEL_MIX.get(name, 0.0),
+         mix.get(name, 0.0))
+        for name in sorted(set(calibration.PAPER_MODEL_MIX) | set(mix))
+    ]
+    emit("\n".join([
+        "== Figure 5: % of Trainer runs per model type ==",
+        paper_vs_measured(rows),
+        bar_chart(dict(sorted(mix.items(), key=lambda kv: -kv[1]))),
+    ]))
+    dnn_total = mix.get("dnn", 0.0) + mix.get("dnn_linear", 0.0)
+    paper_dnn = (calibration.PAPER_MODEL_MIX["dnn"]
+                 + calibration.PAPER_MODEL_MIX["dnn_linear"])
+    # Shape: DNNs dominate (~2/3), linear and trees form the next tier.
+    assert abs(dnn_total - paper_dnn) < 0.15
+    assert mix.get("linear", 0.0) > mix.get("ensemble", 0.0)

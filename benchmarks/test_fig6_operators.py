@@ -1,0 +1,28 @@
+"""Figure 6: operator presence across pipelines."""
+
+from repro.analysis import pipeline_level
+from repro.reporting import bar_chart
+
+from conftest import emit, once
+
+
+def test_fig6_operator_presence(benchmark, bench_corpus):
+    by_group = once(benchmark, pipeline_level.operator_presence,
+                    bench_corpus.store,
+                    bench_corpus.production_context_ids)
+    by_type = pipeline_level.operator_type_presence(
+        bench_corpus.store, bench_corpus.production_context_ids)
+    emit("\n".join([
+        "== Figure 6: % pipelines with each operator group ==",
+        bar_chart(dict(sorted(by_group.items(), key=lambda kv: -kv[1]))),
+        "== Figure 6 (per operator type) ==",
+        bar_chart(dict(sorted(by_type.items(), key=lambda kv: -kv[1]))),
+    ]))
+    # Paper: training and deployment in 100% of (production) pipelines.
+    assert by_group["training"] == 1.0
+    assert by_group["model_deployment"] == 1.0
+    assert by_group["data_ingestion"] == 1.0
+    # "About half of the pipelines employ data- and model-validation
+    # operators" — the validator operator types specifically.
+    assert 0.35 < by_type.get("ExampleValidator", 0.0) < 0.7
+    assert 0.4 < by_type.get("ModelValidator", 0.0) < 0.75

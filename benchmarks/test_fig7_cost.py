@@ -1,0 +1,46 @@
+"""Figure 7: compute-cost breakdown by operator group."""
+
+from repro.analysis import pipeline_level
+from repro.corpus import calibration
+from repro.reporting import bar_chart, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_fig7_cost_breakdown(benchmark, bench_corpus):
+    shares = once(benchmark, pipeline_level.cost_breakdown,
+                  bench_corpus.store, bench_corpus.production_context_ids)
+    rows = [
+        (group, calibration.PAPER_COST_SHARES.get(group, 0.0),
+         shares.get(group, 0.0))
+        for group in sorted(set(calibration.PAPER_COST_SHARES)
+                            | set(shares))
+    ]
+    analysis_validation = (shares.get("data_analysis_validation", 0.0)
+                           + shares.get("model_analysis_validation", 0.0))
+    emit("\n".join([
+        "== Figure 7: compute-cost share per operator group ==",
+        paper_vs_measured(rows),
+        bar_chart(dict(sorted(shares.items(), key=lambda kv: -kv[1]))),
+        paper_vs_measured([
+            ("analysis+validation total",
+             calibration.PAPER_ANALYSIS_VALIDATION_SHARE,
+             analysis_validation)]),
+    ]))
+    # The paper's headline findings:
+    # (1) training accounts for less than a third of total compute;
+    assert shares["training"] < calibration.PAPER_TRAINING_SHARE_UPPER
+    # (2) data+model analysis/validation exceeds training;
+    assert analysis_validation > shares["training"]
+    # (3) ingestion is a significant share (~22%).
+    assert 0.12 < shares["data_ingestion"] < 0.35
+
+
+def test_failure_cost(benchmark, bench_corpus):
+    failure = once(benchmark, pipeline_level.failure_cost,
+                   bench_corpus.store,
+                   bench_corpus.production_context_ids)
+    emit("== Section 3.3: compute spent on failed executions ==\n"
+         f"failed CPU-hours fraction: {failure['failed_fraction']:.3f}")
+    # Failures are not free but also not dominant.
+    assert 0.0 < failure["failed_fraction"] < 0.2

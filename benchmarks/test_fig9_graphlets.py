@@ -1,0 +1,105 @@
+"""Figure 9: model retraining and deployment characteristics."""
+
+import numpy as np
+
+from repro.analysis import graphlet_level
+from repro.corpus import calibration
+from repro.reporting import bar_chart, histogram, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_fig9ab_time_gaps(benchmark, bench_graphlets):
+    gaps = once(benchmark, graphlet_level.inter_graphlet_gaps,
+                bench_graphlets)
+    mean_all = float(np.mean(gaps["all"]))
+    mean_pushed = float(np.mean(gaps["pushed"]))
+    emit("\n".join([
+        "== Figure 9(a)/(b): time between consecutive graphlets (h) ==",
+        paper_vs_measured([
+            ("mean gap, pushed graphlets",
+             calibration.PAPER_MEAN_PUSHED_GAP_HOURS, mean_pushed),
+            ("pushed-vs-all gap upshift",
+             calibration.PAPER_PUSH_GAP_SHIFT_HOURS,
+             mean_pushed - mean_all),
+        ]),
+        histogram(gaps["all"], bins=8, log=True,
+                  title="all graphlets (log bins)"),
+        histogram(gaps["pushed"], bins=8, log=True,
+                  title="pushed graphlets (log bins)"),
+    ]))
+    # Paper: same-shaped distributions, pushed mean clearly upshifted.
+    assert mean_pushed > mean_all
+    assert mean_pushed - mean_all > 5.0
+
+
+def test_fig9c_between_pushes(benchmark, bench_graphlets):
+    counts = once(benchmark, graphlet_level.graphlets_between_pushes,
+                  bench_graphlets)
+    counts = np.asarray(counts)
+    emit("\n".join([
+        "== Figure 9(c): unpushed graphlets between pushes ==",
+        paper_vs_measured([
+            ("mean graphlets between pushes",
+             calibration.PAPER_MEAN_GRAPHLETS_BETWEEN_PUSHES,
+             float(counts.mean())),
+        ]),
+        histogram(counts, bins=8, title="between-push counts"),
+    ]))
+    # Paper: most pipelines interleave 1-10 unpushed between pushes.
+    assert 1.0 < counts.mean() < 6.0
+    assert (counts >= 1).mean() > 0.4
+
+
+def test_fig9d_cost_by_push(benchmark, bench_graphlets):
+    costs = once(benchmark, graphlet_level.cost_by_push, bench_graphlets)
+    mean_pushed = float(np.mean(costs["pushed"]))
+    mean_unpushed = float(np.mean(costs["unpushed"]))
+    emit("== Figure 9(d): training cost by push outcome ==\n"
+         f"mean training CPU-h: pushed {mean_pushed:.2f}, "
+         f"unpushed {mean_unpushed:.2f}")
+    # Paper: pushed and unpushed training costs are comparable (unpushed
+    # slightly higher overall) — waste is proportional to count.
+    ratio = mean_unpushed / mean_pushed
+    assert 0.6 < ratio < 2.0
+
+
+def test_fig9e_durations(benchmark, bench_graphlets):
+    durations = once(benchmark, graphlet_level.durations, bench_graphlets)
+    durations = np.asarray(durations)
+    emit("\n".join([
+        "== Figure 9(e): graphlet duration (hours) ==",
+        paper_vs_measured([
+            ("mean graphlet duration (h)",
+             calibration.PAPER_MEAN_GRAPHLET_DURATION_HOURS,
+             float(durations.mean())),
+        ]),
+        histogram(durations[durations > 0], bins=8, log=True,
+                  title="durations (log bins)"),
+    ]))
+    # Shape: long-running graphlets (days), far longer than the gaps
+    # between graphlets (rolling windows overlap heavily).
+    assert durations.mean() > 48.0
+
+
+def test_fig9f_push_by_type(benchmark, bench_graphlets):
+    rates = once(benchmark, graphlet_level.push_rate_by_model_type,
+                 bench_graphlets)
+    known = {k: v for k, v in rates.items() if k != "unknown"}
+    emit("== Figure 9(f): push likelihood by model type ==\n"
+         + bar_chart(dict(sorted(known.items(), key=lambda kv: -kv[1]))))
+    # Paper: likelihoods highly variable across types, all below 0.6.
+    assert max(known.values()) < calibration.PAPER_MAX_PUSH_LIKELIHOOD_BY_TYPE + 0.1
+    assert max(known.values()) - min(known.values()) > 0.05
+
+
+def test_unpushed_fraction(benchmark, bench_graphlets):
+    fraction = once(benchmark, graphlet_level.unpushed_fraction,
+                    bench_graphlets)
+    emit("== Section 4.3: unpushed graphlet fraction ==\n"
+         + paper_vs_measured([
+             ("unpushed fraction", calibration.PAPER_UNPUSHED_FRACTION,
+              fraction)]))
+    # Paper: ~80% of graphlets never push ("one in four retrainings
+    # results in deployment").
+    assert 0.6 < fraction < 0.9

@@ -1,0 +1,56 @@
+"""Table 1: similarity metrics for consecutive model graphlets."""
+
+from repro.analysis import graphlet_level
+from repro.corpus import calibration
+from repro.reporting import format_table, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_tab1_similarity(benchmark, bench_graphlets):
+    table = once(benchmark, graphlet_level.similarity_table,
+                 bench_graphlets)
+    rows = []
+    for name, row in table.items():
+        buckets = row["buckets"]
+        rows.append((name, *[f"{v:.1%}" for v in buckets.values()],
+                     f"{row['mean']:.3f}"))
+    emit("\n".join([
+        "== Table 1: similarity of consecutive graphlets ==",
+        format_table(("metric", "[0,.25]", "(.25,.5]", "(.5,.75]",
+                      "(.75,1]", "mean"), rows),
+        paper_vs_measured([
+            ("jaccard mean", calibration.PAPER_JACCARD_MEAN,
+             table["jaccard"]["mean"]),
+            ("jaccard (0.75,1] bucket",
+             calibration.PAPER_JACCARD_HIGH_BUCKET,
+             table["jaccard"]["buckets"]["[0.75, 1.0]"]),
+            ("jaccard [0,0.25] bucket",
+             calibration.PAPER_JACCARD_LOW_BUCKET,
+             table["jaccard"]["buckets"]["[0.0, 0.25]"]),
+            ("dataset sim mean", calibration.PAPER_DATASET_SIM_MEAN,
+             table["dataset"]["mean"]),
+            ("dataset [0,0.25] bucket",
+             calibration.PAPER_DATASET_SIM_LOW_BUCKET,
+             table["dataset"]["buckets"]["[0.0, 0.25]"]),
+            ("dataset (0.75,1] bucket",
+             calibration.PAPER_DATASET_SIM_HIGH_BUCKET,
+             table["dataset"]["buckets"]["[0.75, 1.0]"]),
+            ("avg dataset sim mean",
+             calibration.PAPER_AVG_DATASET_SIM_MEAN,
+             table["avg_dataset"]["mean"]),
+        ]),
+    ]))
+    jaccard = table["jaccard"]
+    dataset = table["dataset"]
+    # Shape checks (the paper's qualitative findings):
+    # Jaccard is bimodal with most mass at the extremes, mean ~2/3.
+    assert jaccard["buckets"]["[0.75, 1.0]"] \
+        + jaccard["buckets"]["[0.0, 0.25]"] > 0.55
+    assert 0.4 < jaccard["mean"] < 0.8
+    # Dataset similarity reverses the trend: mass concentrates low.
+    assert dataset["buckets"]["[0.0, 0.25]"] > 0.6
+    assert dataset["mean"] < jaccard["mean"]
+    # Averaging within pipelines drops the high quantiles (power users
+    # have higher data volatility).
+    assert table["avg_dataset"]["mean"] <= dataset["mean"] + 0.02

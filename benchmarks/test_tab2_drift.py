@@ -1,0 +1,35 @@
+"""Table 2: model push vs data drift and code change."""
+
+from repro.analysis import graphlet_level
+from repro.corpus import calibration
+from repro.reporting import format_table, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_tab2_push_vs_drift(benchmark, bench_graphlets):
+    table = once(benchmark, graphlet_level.push_vs_drift_table,
+                 bench_graphlets)
+    rows = [
+        (metric, values["pushed"], values["unpushed"], values["all"])
+        for metric, values in table.items()
+    ]
+    emit("\n".join([
+        "== Table 2: push outcome vs drift / code change ==",
+        format_table(("metric", "mu_pushed", "mu_unpushed", "mu"), rows),
+        paper_vs_measured([
+            ("input similarity (all)",
+             calibration.PAPER_DATASET_SIM_MEAN,
+             table["input_similarity"]["all"]),
+            ("code match (all)", calibration.PAPER_CODE_MATCH_MEAN,
+             table["code_match"]["all"]),
+        ]),
+    ]))
+    similarity = table["input_similarity"]
+    code = table["code_match"]
+    # Paper's finding: neither measure differs much between pushed and
+    # unpushed groups — drift and code change alone do not explain waste.
+    assert abs(similarity["pushed"] - similarity["unpushed"]) < 0.12
+    assert abs(code["pushed"] - code["unpushed"]) < 0.1
+    # Code matches most of the time (code_change_prob = 0.155).
+    assert 0.7 < code["all"] < 0.95

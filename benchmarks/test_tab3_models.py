@@ -1,0 +1,88 @@
+"""Table 3: balanced accuracy and feature cost for all model variants."""
+
+from repro.corpus import calibration
+from repro.reporting import format_table, paper_vs_measured
+
+from conftest import emit, once
+
+
+def test_tab3_staged_variants(benchmark, waste_policies, waste_evaluation,
+                              waste_dataset):
+    policies = once(benchmark, lambda: waste_policies)
+    rows = []
+    for name, policy in policies.items():
+        rows.append((
+            name,
+            calibration.PAPER_BALANCED_ACC[name],
+            policy.balanced_accuracy,
+            calibration.PAPER_FEATURE_COST[name],
+            waste_evaluation.feature_cost.get(name, float("nan")),
+        ))
+    emit("\n".join([
+        "== Table 3 (top): staged Random Forest variants ==",
+        format_table(("model", "paper acc", "acc", "paper cost", "cost"),
+                     rows),
+        f"dataset: {waste_dataset.n_rows} graphlets, "
+        f"{waste_dataset.unpushed_fraction:.0%} unpushed "
+        f"(paper: {calibration.PAPER_WASTE_UNPUSHED_FRACTION:.0%})",
+    ]))
+    accs = {name: p.balanced_accuracy for name, p in policies.items()}
+    # Shape: more pipeline stages observed → better accuracy, with the
+    # near-oracular RF:Validation far ahead (paper: 0.948).
+    assert accs["RF:Validation"] > accs["RF:Input"]
+    assert accs["RF:Validation"] > accs["RF:Input+Pre"]
+    assert accs["RF:Validation"] > 0.85
+    # The early-stage rungs are the weakest part of the reproduction:
+    # the synthetic mechanism's pre-push signals are less recoverable
+    # than Google's real-corpus ones (see EXPERIMENTS.md).
+    assert accs["RF:Input"] > 0.42
+    # Feature costs are monotone and far from linear in accuracy.
+    costs = waste_evaluation.feature_cost
+    assert costs["RF:Input"] < costs["RF:Input+Pre"] \
+        < costs["RF:Input+Pre+Trainer"] < costs["RF:Validation"]
+
+
+def test_tab3_ablation(benchmark, waste_ablation, waste_policies):
+    ablation = once(benchmark, lambda: waste_ablation)
+    rows = [
+        (name, calibration.PAPER_ABLATION_BALANCED_ACC[name],
+         policy.balanced_accuracy)
+        for name, policy in ablation.items()
+    ]
+    emit("== Table 3 (bottom): feature-family ablation ==\n"
+         + format_table(("model", "paper acc", "acc"), rows))
+    accs = {name: p.balanced_accuracy for name, p in ablation.items()}
+    # Paper: no single family captures most of the gains — every ablated
+    # model falls well short of the full-information variant.
+    best_staged = waste_policies["RF:Validation"].balanced_accuracy
+    assert all(a < best_staged - 0.05 for a in accs.values())
+    # Model type alone lands near the simple-heuristic level (~0.6).
+    assert accs["RF:Model-Type"] < 0.72
+
+
+def test_heuristic_baselines(benchmark, waste_heuristics):
+    heuristics = once(benchmark, lambda: waste_heuristics)
+    rows = [(h.name, h.balanced_accuracy, h.description)
+            for h in heuristics]
+    best = max(h.balanced_accuracy for h in heuristics)
+    emit("\n".join([
+        "== Section 5.1: hand-crafted heuristics ==",
+        format_table(("heuristic", "balanced acc", "rule"), rows),
+        paper_vs_measured([
+            ("best heuristic balanced acc",
+             calibration.PAPER_HEURISTIC_BEST_BALANCED_ACC, best)]),
+    ]))
+    # Paper: the best heuristic reaches only ~0.6.
+    assert best < 0.7
+
+
+def test_learned_beats_heuristics(benchmark, waste_policies,
+                                  waste_heuristics):
+    best_heuristic = once(
+        benchmark,
+        lambda: max(h.balanced_accuracy for h in waste_heuristics))
+    best_model = max(p.balanced_accuracy for p in waste_policies.values())
+    emit("== Section 5.1/5.3: learned vs heuristic ==\n"
+         f"best heuristic {best_heuristic:.3f} vs best model "
+         f"{best_model:.3f}")
+    assert best_model > best_heuristic

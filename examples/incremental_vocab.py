@@ -1,0 +1,84 @@
+"""Incremental view maintenance for vocabulary analysis.
+
+One of the paper's concrete optimization opportunities (Sections 3.2 and
+4.2.1): consecutive graphlets share ~65% of their input spans (Table 1's
+Jaccard row), yet the dominant analyzer — the top-K vocabulary over
+categorical features (Figure 4) — is recomputed from scratch for every
+training run. This example maintains the vocabulary incrementally over a
+rolling window and shows (a) identical results and (b) how much less
+data each refresh touches.
+
+Run:  python examples/incremental_vocab.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import (
+    IncrementalVocabularyAnalyzer,
+    VocabularyAnalyzer,
+    materialize_span,
+)
+from repro.data.schema import (
+    CategoricalDomain,
+    FeatureSpec,
+    FeatureType,
+    Schema,
+)
+from repro.reporting import format_table
+
+WINDOW = 24
+STEPS = 20
+EXAMPLES_PER_SPAN = 30_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    schema = Schema(features=[FeatureSpec(
+        name="query_tokens", type=FeatureType.CATEGORICAL,
+        categorical=CategoricalDomain(unique_values=25_000, zipf_s=1.1))])
+    print(f"Materializing {WINDOW + STEPS} daily spans of "
+          f"{EXAMPLES_PER_SPAN:,} examples ...")
+    spans = [materialize_span(schema, i, EXAMPLES_PER_SPAN, rng)
+             for i in range(WINDOW + STEPS)]
+
+    print(f"Sliding a {WINDOW}-span window through {STEPS} training "
+          "triggers ...\n")
+    start = time.perf_counter()
+    batch_results = []
+    for step in range(STEPS):
+        window = spans[step:step + WINDOW]
+        analyzer = VocabularyAnalyzer("query_tokens", top_k=500)
+        batch_results.append(analyzer.analyze(window).value)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    incremental = IncrementalVocabularyAnalyzer("query_tokens", top_k=500)
+    touched = 0
+    incremental_results = []
+    for step in range(STEPS):
+        touched += incremental.advance_to(spans[step:step + WINDOW])
+        incremental_results.append(incremental.vocabulary())
+    incremental_seconds = time.perf_counter() - start
+
+    identical = all(a == b for a, b in zip(batch_results,
+                                           incremental_results))
+    print(format_table(
+        ("strategy", "seconds", "spans scanned", "examples scanned"), [
+            ("full recomputation", round(batch_seconds, 3),
+             STEPS * WINDOW, STEPS * WINDOW * EXAMPLES_PER_SPAN),
+            ("incremental maintenance", round(incremental_seconds, 3),
+             touched, touched * EXAMPLES_PER_SPAN),
+        ]))
+    print(f"\nvocabularies identical across all steps: {identical}")
+    print(f"data touched: {STEPS * WINDOW / max(touched, 1):.1f}x less; "
+          f"wall clock: "
+          f"{batch_seconds / max(incremental_seconds, 1e-9):.1f}x faster")
+    print("\n(The data reduction is the durable win: in production the "
+          "spans live in distributed storage,\nso every span re-scanned "
+          "is I/O + shuffle cost, not just CPU.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Quickstart: author a TFX-style pipeline, run it on real data, inspect
+the trace, and segment it into model graphlets.
+
+This walks the paper's core loop end to end on the *real-execution* path
+(materialized data, actual model training) — no simulation shortcuts:
+
+1. author the Figure 1(b) pipeline topology;
+2. feed it daily data spans and trigger training runs;
+3. watch data validation block a bad span;
+4. segment the recorded trace into model graphlets (Section 4.1);
+5. print per-graphlet costs and push outcomes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.data import materialize_span, random_schema
+from repro.graphlets import graphlet_shape, segment_pipeline
+from repro.mlmd import MetadataStore
+from repro.reporting import format_table, render_graphlet, render_trace
+from repro.tfx import (
+    ExampleGen,
+    ExampleValidator,
+    Evaluator,
+    ModelType,
+    ModelValidator,
+    NodeInput,
+    PipelineDef,
+    PipelineNode,
+    PipelineRunner,
+    Pusher,
+    SchemaGen,
+    StatisticsGen,
+    Trainer,
+)
+
+
+def build_pipeline() -> PipelineDef:
+    """The 'typical' pipeline of Figure 1(b), on a 3-span rolling window."""
+    return PipelineDef("quickstart", [
+        PipelineNode("gen", ExampleGen(), stage="ingest"),
+        PipelineNode("stats", StatisticsGen(),
+                     inputs={"spans": NodeInput("gen", "span")},
+                     stage="ingest"),
+        PipelineNode("schema", SchemaGen(),
+                     inputs={"statistics": NodeInput("stats",
+                                                     "statistics")},
+                     stage="ingest"),
+        PipelineNode("validator", ExampleValidator(),
+                     inputs={"statistics": NodeInput("stats",
+                                                     "statistics"),
+                             "schema": NodeInput("schema", "schema")},
+                     stage="ingest"),
+        PipelineNode("trainer", Trainer(model_type=ModelType.TREES),
+                     inputs={"spans": NodeInput("gen", "span", window=3)},
+                     gates=["validator"]),
+        PipelineNode("evaluator", Evaluator(),
+                     inputs={"model": NodeInput("trainer", "model"),
+                             "spans": NodeInput("gen", "span")}),
+        PipelineNode("mvalidator", ModelValidator(),
+                     inputs={"evaluation": NodeInput("evaluator",
+                                                     "evaluation"),
+                             "model": NodeInput("trainer", "model")}),
+        PipelineNode("pusher", Pusher(),
+                     inputs={"model": NodeInput("trainer", "model"),
+                             "blessing": NodeInput("mvalidator",
+                                                   "blessing")},
+                     gates=["mvalidator"]),
+    ])
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    store = MetadataStore()
+    runner = PipelineRunner(build_pipeline(), store, rng,
+                            simulation=False)
+    schema = random_schema(rng, n_features=8, categorical_fraction=0.3)
+
+    print("=== Running 6 daily triggers (training every 2nd span) ===")
+    for day in range(6):
+        day_schema = schema
+        if day == 3:
+            # Corrupt day 3 at the source: a numeric feature's scale
+            # explodes upstream — data validation catches it and blocks
+            # that day's training trigger.
+            from copy import deepcopy
+            day_schema = deepcopy(schema)
+            for spec in day_schema:
+                if spec.numeric is not None:
+                    spec.numeric.mean *= 1e6
+                    spec.numeric.stddev *= 1e6
+                    break
+        span = materialize_span(day_schema, day, 600, rng,
+                                ingest_time=day * 24.0)
+        kind = "train" if day % 2 == 1 else "ingest"
+        report = runner.run(day * 24.0, kind=kind,
+                            hints={"new_span": span})
+        interesting = {node: status
+                       for node, status in report.node_status.items()
+                       if status not in ("not_in_stage",)}
+        print(f"day {day} ({kind:6s}): {interesting} "
+              f"pushed={report.pushed}")
+
+    print(f"\ntrace: {store.num_executions} executions, "
+          f"{store.num_artifacts} artifacts, {store.num_events} events")
+
+    print("\n=== Model graphlets (Section 4.1 segmentation) ===")
+    graphlets = segment_pipeline(store, runner.context_id)
+    rows = []
+    for index, graphlet in enumerate(graphlets):
+        shape = graphlet_shape(graphlet)
+        ops = ", ".join(f"{name}x{s.count}"
+                        for name, s in sorted(shape.by_operator.items()))
+        rows.append((index, graphlet.model_type, graphlet.pushed,
+                     round(graphlet.total_cpu_hours, 1),
+                     round(graphlet.duration_hours, 1), ops))
+    print(format_table(("#", "model", "pushed", "cpu-h", "dur-h",
+                        "operators"), rows))
+
+    print("\n=== Figure-2-style temporal view of the trace ===")
+    print(render_trace(store, runner.context_id, max_nodes=14))
+
+    print("\n=== Figure-8-style view of the first graphlet ===")
+    print(render_graphlet(graphlets[0]))
+
+    print("\nDone. Each graphlet is one end-to-end logical pipeline run "
+          "around a single Trainer execution;\nthe day-3 anomaly blocked "
+          "that day's training trigger entirely (no graphlet for it).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so legacy tooling (and offline environments without the
+`wheel` package) can install the project; configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro: reproduction of "Production Machine Learning Pipelines:
+Empirical Analysis and Optimization Opportunities" (SIGMOD 2021).
+
+Subpackages:
+
+* :mod:`repro.mlmd` — ML-Metadata-style provenance store.
+* :mod:`repro.tfx` — TFX-like pipeline runtime (operators + orchestrator).
+* :mod:`repro.data` — schemas, spans, summary statistics, drift, analyzers.
+* :mod:`repro.datalog` — Datalog engine for the Appendix-A queries.
+* :mod:`repro.corpus` — calibrated synthetic corpus generator.
+* :mod:`repro.graphlets` — model-graphlet segmentation (Section 4.1).
+* :mod:`repro.similarity` — Appendix-B similarity metrics (LSH + EMD).
+* :mod:`repro.analysis` — Section 3/4 corpus analyses.
+* :mod:`repro.ml` — from-scratch ML library (RF, GBDT, LogReg, MLP).
+* :mod:`repro.waste` — Section 5 waste-mitigation policies.
+* :mod:`repro.reporting` — terminal tables and plots.
+"""
+
+__version__ = "1.0.0"

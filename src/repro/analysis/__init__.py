@@ -1,0 +1,15 @@
+"""Corpus analyses reproducing Sections 3 and 4 of the paper."""
+
+from . import graphlet_level, pipeline_level
+from .distributions import DistributionSummary, bucket_fractions, cdf_points
+from .report import full_report, segment_production_pipelines
+
+__all__ = [
+    "DistributionSummary",
+    "bucket_fractions",
+    "cdf_points",
+    "full_report",
+    "graphlet_level",
+    "pipeline_level",
+    "segment_production_pipelines",
+]

@@ -1,0 +1,87 @@
+"""Distribution summaries used across the analyses.
+
+The paper presents results as PDFs, CDFs, bucketed histograms (Table 1's
+similarity ranges), and per-group breakdowns; these helpers compute those
+summaries as plain data that the reporting layer renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DistributionSummary:
+    """Summary statistics plus a log-bucketed histogram of one sample."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    p90: float
+    histogram: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_values(cls, values, bins: np.ndarray | None = None,
+                    log_bins: bool = False) -> "DistributionSummary":
+        """Summarize values; bins default to deciles of the range."""
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            return cls(count=0, mean=float("nan"), median=float("nan"),
+                       minimum=float("nan"), maximum=float("nan"),
+                       p90=float("nan"))
+        if bins is None:
+            if log_bins:
+                positive = arr[arr > 0]
+                lo = positive.min() if positive.size else 1e-3
+                bins = np.geomspace(max(lo, 1e-3), max(arr.max(), lo * 10),
+                                    11)
+            else:
+                bins = np.linspace(arr.min(), max(arr.max(),
+                                                  arr.min() + 1e-9), 11)
+        counts, edges = np.histogram(arr, bins=bins)
+        total = counts.sum()
+        histogram = {
+            f"[{edges[i]:.3g}, {edges[i + 1]:.3g})":
+                counts[i] / total if total else 0.0
+            for i in range(len(counts))
+        }
+        return cls(count=int(arr.size), mean=float(arr.mean()),
+                   median=float(np.median(arr)), minimum=float(arr.min()),
+                   maximum=float(arr.max()),
+                   p90=float(np.quantile(arr, 0.9)), histogram=histogram)
+
+
+def bucket_fractions(values, edges: list[float]) -> dict[str, float]:
+    """Fraction of values in each (closed-open, last closed) bucket.
+
+    Table 1 uses the edges [0, 0.25, 0.5, 0.75, 1].
+    """
+    arr = np.asarray(list(values), dtype=float)
+    out: dict[str, float] = {}
+    if arr.size == 0:
+        for lo, hi in zip(edges, edges[1:]):
+            out[f"[{lo}, {hi}]"] = 0.0
+        return out
+    for i, (lo, hi) in enumerate(zip(edges, edges[1:])):
+        if i == len(edges) - 2:
+            mask = (arr > lo) & (arr <= hi) if i else (arr >= lo) & \
+                (arr <= hi)
+        elif i == 0:
+            mask = (arr >= lo) & (arr <= hi)
+        else:
+            mask = (arr > lo) & (arr <= hi)
+        out[f"[{lo}, {hi}]"] = float(mask.mean())
+    return out
+
+
+def cdf_points(values, n_points: int = 50) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        return []
+    qs = np.linspace(0.0, 1.0, n_points)
+    return [(float(np.quantile(arr, q)), float(q)) for q in qs]

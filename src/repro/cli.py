@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — generate a calibrated corpus and save it to SQLite.
+* ``report`` — run the full Section 3/4 analysis suite on a corpus.
+* ``waste`` — train the Section 5 policy variants and print Table 3 /
+  Figure 10 summaries.
+* ``summarize`` — type-level summary of a pipeline's trace.
+
+Every command works on a corpus database produced by ``generate``, so a
+full study is::
+
+    python -m repro generate --pipelines 100 --out corpus.db
+    python -m repro report corpus.db
+    python -m repro waste corpus.db
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .corpus import CorpusConfig, generate_corpus
+    from .mlmd import save_store
+
+    config = CorpusConfig(n_pipelines=args.pipelines, seed=args.seed,
+                          max_graphlets_per_pipeline=args.max_graphlets)
+    print(f"generating {args.pipelines} pipelines (seed {args.seed}) ...")
+    corpus = generate_corpus(config, progress=True)
+    save_store(corpus.store, args.out)
+    print(f"saved {corpus.store.num_executions:,} executions / "
+          f"{corpus.store.num_artifacts:,} artifacts to {args.out}")
+    return 0
+
+
+def _load(path: str):
+    from .corpus import Corpus
+    from .mlmd import load_store
+
+    return Corpus.from_store(load_store(path))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import full_report, segment_production_pipelines
+    from .reporting import bar_chart, format_table
+
+    corpus = _load(args.corpus)
+    print(f"{len(corpus.production_context_ids)} production pipelines")
+    graphlets = segment_production_pipelines(corpus)
+    report = full_report(corpus, graphlets)
+    print(f"\nlifespan: mean {report['fig3a_lifespan'].mean:.1f} d, "
+          f"max {report['fig3a_lifespan'].maximum:.1f} d")
+    print(f"models/day: median "
+          f"{report['fig3b_models_per_day'].median:.2f}, "
+          f"mean {report['fig3b_models_per_day'].mean:.2f}")
+    print("\nFigure 5 — model mix:")
+    print(bar_chart(dict(sorted(report["fig5_model_mix"].items(),
+                                key=lambda kv: -kv[1]))))
+    print("\nFigure 7 — compute-cost shares:")
+    print(bar_chart(dict(sorted(report["fig7_cost_breakdown"].items(),
+                                key=lambda kv: -kv[1]))))
+    print("\nTable 1 — consecutive-graphlet similarity:")
+    rows = [(name, *[f"{v:.1%}" for v in row["buckets"].values()],
+             f"{row['mean']:.3f}")
+            for name, row in report["tab1_similarity"].items()]
+    print(format_table(("metric", "[0,.25]", "(.25,.5]", "(.5,.75]",
+                        "(.75,1]", "mean"), rows))
+    print(f"\nunpushed graphlet fraction: "
+          f"{report['unpushed_fraction']:.1%}")
+    return 0
+
+
+def _cmd_waste(args: argparse.Namespace) -> int:
+    from .analysis import segment_production_pipelines
+    from .reporting import format_table
+    from .waste import (build_waste_dataset, evaluate_policies,
+                        feature_cost_index, train_all_variants)
+
+    corpus = _load(args.corpus)
+    graphlets = segment_production_pipelines(corpus)
+    dataset = build_waste_dataset(graphlets)
+    if dataset.n_rows < 20:
+        print(f"only {dataset.n_rows} graphlets after the warm-start "
+              "filter — generate a larger corpus first", file=sys.stderr)
+        return 1
+    print(f"{dataset.n_rows} graphlets, "
+          f"{dataset.unpushed_fraction:.0%} unpushed")
+    policies = train_all_variants(dataset, n_estimators=args.trees)
+    evaluation = evaluate_policies(policies, feature_cost_index(dataset))
+    rows = []
+    for name, policy in policies.items():
+        curve = evaluation.curves[name]
+        rows.append((name, policy.balanced_accuracy,
+                     evaluation.feature_cost.get(name, float("nan")),
+                     curve.waste_cut_at_freshness(0.95)))
+    print(format_table(("model", "balanced acc", "feature cost",
+                        "waste cut @F>=0.95"), rows))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from .mlmd import summarize_by_type
+
+    corpus = _load(args.corpus)
+    store = corpus.store
+    context_id = None
+    if args.pipeline is not None:
+        matches = [c for c in store.get_contexts("Pipeline")
+                   if c.name == args.pipeline]
+        if not matches:
+            print(f"no pipeline named {args.pipeline!r}", file=sys.stderr)
+            return 1
+        context_id = matches[0].id
+    print(summarize_by_type(store, context_id).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Production ML Pipelines' "
+                    "(SIGMOD 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate",
+                              help="generate a corpus into SQLite")
+    generate.add_argument("--pipelines", type=int, default=60)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--max-graphlets", type=int, default=60)
+    generate.add_argument("--out", default="corpus.db")
+    generate.set_defaults(fn=_cmd_generate)
+
+    report = sub.add_parser("report",
+                            help="run the Section 3/4 analysis suite")
+    report.add_argument("corpus")
+    report.set_defaults(fn=_cmd_report)
+
+    waste = sub.add_parser("waste",
+                           help="train the Section 5 policy variants")
+    waste.add_argument("corpus")
+    waste.add_argument("--trees", type=int, default=60)
+    waste.set_defaults(fn=_cmd_waste)
+
+    summarize = sub.add_parser("summarize",
+                               help="type-level trace summary")
+    summarize.add_argument("corpus")
+    summarize.add_argument("--pipeline", default=None,
+                           help="pipeline name (default: whole corpus)")
+    summarize.set_defaults(fn=_cmd_summarize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

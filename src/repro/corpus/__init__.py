@@ -1,0 +1,33 @@
+"""Calibrated synthetic corpus generator (the paper's data substitute)."""
+
+from . import calibration
+from .archetypes import PipelineArchetype, build_pipeline, sample_archetype
+from .config import (
+    PRODUCT_AREAS,
+    TASKS,
+    CadenceMixture,
+    CorpusConfig,
+    LifespanModel,
+    MechanismConfig,
+)
+from .generator import (Corpus, PipelineRecord, generate_corpus,
+                        production_context_ids_from_store)
+from .mechanism import PushMechanism
+
+__all__ = [
+    "CadenceMixture",
+    "Corpus",
+    "CorpusConfig",
+    "LifespanModel",
+    "MechanismConfig",
+    "PRODUCT_AREAS",
+    "PipelineArchetype",
+    "PipelineRecord",
+    "PushMechanism",
+    "TASKS",
+    "build_pipeline",
+    "calibration",
+    "generate_corpus",
+    "production_context_ids_from_store",
+    "sample_archetype",
+]

@@ -1,0 +1,344 @@
+"""Pipeline archetypes: sampled per-pipeline characteristics + topology.
+
+An archetype bundles everything that varies *across* pipelines in the
+corpus — product area, task, model family, cadence, lifespan, windowing,
+operator presence, analyzer mix, and cost scale — and knows how to build
+the corresponding :class:`~repro.tfx.pipeline.PipelineDef`. Node ids
+follow fixed conventions (``gen``, ``trainer0``, ``pusher1``, ...) so the
+push mechanism can target hints at specific nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.analyzers import AnalyzerKind
+from ..tfx.model_types import DNN_ARCHITECTURES, ModelType
+from ..tfx.operators import (
+    CustomOperator,
+    ExampleGen,
+    ExampleValidator,
+    Evaluator,
+    InfraValidator,
+    ModelValidator,
+    Pusher,
+    SchemaGen,
+    StatisticsGen,
+    Trainer,
+    Transform,
+    Tuner,
+)
+from ..tfx.pipeline import NodeInput, PipelineDef, PipelineNode
+from .config import PRODUCT_AREAS, TASKS, CorpusConfig
+
+
+@dataclass
+class PipelineArchetype:
+    """Sampled characteristics of one pipeline."""
+
+    name: str
+    product_area: str
+    task: str
+    model_type: ModelType
+    architecture: str
+    n_features: int
+    categorical_fraction: float
+    domain_scale: float
+    models_per_day: float
+    train_every: int            # spans per training trigger
+    span_period_hours: float
+    window_spans: int           # rolling window length in spans
+    lifespan_days: float
+    has_data_validation: bool
+    has_model_validation: bool
+    has_infra_validation: bool
+    has_tuner: bool
+    has_transform: bool
+    has_custom_operator: bool
+    n_parallel_trainers: int
+    retrains_per_trigger: int
+    has_distillation: bool
+    warm_start: bool
+    analyzer_counts: dict[AnalyzerKind, int]
+    drift_multiplier: float
+    pipeline_cost_scale: float
+    base_quality: float
+    push_min_interval_hours: float
+    label_noise: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def trainer_node_ids(self) -> list[str]:
+        """Node ids of all Trainer nodes this archetype builds."""
+        return [f"trainer{i}" for i in range(self.n_parallel_trainers)]
+
+
+def _sample_models_per_day(rng: np.random.Generator,
+                           config: CorpusConfig) -> float:
+    mix = config.cadence
+    roll = rng.random()
+    if roll < mix.slow_weight:
+        return float(rng.lognormal(mix.slow_mu, mix.slow_sigma))
+    if roll < mix.slow_weight + mix.fast_weight:
+        return float(rng.lognormal(mix.fast_mu, mix.fast_sigma))
+    log_low, log_high = math.log(mix.extreme_low), math.log(mix.extreme_high)
+    return float(math.exp(rng.uniform(log_low, log_high)))
+
+
+def _sample_lifespan(rng: np.random.Generator, config: CorpusConfig,
+                     model_type: ModelType) -> float:
+    model = config.lifespan
+    if model_type in (ModelType.DNN, ModelType.DNN_LINEAR):
+        mu = model.dnn_mu
+    elif model_type is ModelType.LINEAR:
+        mu = model.linear_mu
+    else:
+        mu = model.rest_mu
+    days = float(rng.lognormal(mu, model.sigma))
+    return float(min(max(days, model.min_days), model.max_days))
+
+
+def _sample_analyzers(rng: np.random.Generator, config: CorpusConfig,
+                      n_categorical: int,
+                      n_numeric: int) -> dict[AnalyzerKind, int]:
+    counts: dict[AnalyzerKind, int] = {}
+    pools = {
+        "vocabulary": n_categorical,
+        "mean": n_numeric, "std": n_numeric,
+        "min": n_numeric, "max": n_numeric, "quantiles": n_numeric,
+        "custom": n_categorical + n_numeric,
+    }
+    for kind_name, presence in config.analyzer_presence.items():
+        pool = pools[kind_name]
+        if pool <= 0 or rng.random() >= presence:
+            continue
+        kind = AnalyzerKind(kind_name)
+        # Vocabulary applies to most categorical features when present;
+        # custom UDFs are used sparingly (Figure 4 bottom view).
+        if kind is AnalyzerKind.VOCABULARY:
+            count = max(1, int(pool * rng.uniform(0.5, 1.0)))
+        elif kind is AnalyzerKind.CUSTOM:
+            count = max(1, int(pool * rng.uniform(0.02, 0.15)))
+        else:
+            count = max(1, int(pool * rng.uniform(0.2, 0.8)))
+        counts[kind] = count
+    if not counts and n_categorical:
+        counts[AnalyzerKind.VOCABULARY] = max(1, n_categorical // 2)
+    return counts
+
+
+def sample_archetype(rng: np.random.Generator, config: CorpusConfig,
+                     index: int, n_features: int,
+                     categorical_fraction: float) -> PipelineArchetype:
+    """Sample one pipeline archetype.
+
+    The feature profile (count, categorical share) is sampled by the
+    caller alongside the schema so the two always agree.
+    """
+    model_types = list(config.model_mix)
+    weights = np.asarray([config.model_mix[t] for t in model_types])
+    model_type = model_types[int(rng.choice(len(model_types),
+                                            p=weights / weights.sum()))]
+    architecture = ""
+    if model_type in (ModelType.DNN, ModelType.DNN_LINEAR):
+        architecture = str(rng.choice(DNN_ARCHITECTURES))
+
+    models_per_day = _sample_models_per_day(rng, config)
+    # DNN cadence is the most diverse (Figure 3(e)); widen its spread.
+    if model_type is ModelType.DNN:
+        models_per_day *= float(rng.lognormal(0.0, 0.5))
+    # Some pipeline authors retrain repeatedly on the same window
+    # (Section 4.2.1: "retrainings on the same data after the pipeline
+    # author changes other details"); these create identical-input
+    # consecutive graphlets.
+    retrains_per_trigger = (int(rng.integers(2, 5))
+                            if rng.random() < config.p_retrain_same_window
+                            else 1)
+    tumbling = rng.random() < config.p_tumbling_window
+    # Rolling pipelines retrain on every new span (heavy overlap, the
+    # Jaccard > 0.75 mass of Table 1); tumbling pipelines accumulate a
+    # fresh window per model.
+    train_every = int(rng.integers(1, 5)) if tumbling else 1
+    span_period_hours = (24.0 * retrains_per_trigger
+                         / (models_per_day * train_every))
+
+    if tumbling:
+        window_spans = train_every
+    else:
+        # Rolling window sized in wall-clock terms (several days of data,
+        # Figure 9(e)'s long graphlet durations), capped in span count.
+        window_days = float(rng.lognormal(2.2, 0.6))
+        window_spans = max(train_every,
+                           int(window_days * 24.0 / span_period_hours))
+    window_spans = min(window_spans, config.max_window_spans)
+
+    n_categorical = int(round(n_features * categorical_fraction))
+    n_numeric = n_features - n_categorical
+    has_transform = rng.random() < config.p_transform
+    has_model_validation = rng.random() < config.p_model_validation
+    # Push throttling, in units of the training period. Pipelines with a
+    # ModelValidator rely on blessing as the main gate (mild throttle);
+    # pipelines without one rely on deployment-side rate limits alone
+    # (harder throttle), keeping both classes' push likelihood below 0.6
+    # (Figure 9(f)) and the corpus at ~80% unpushed.
+    if has_model_validation:
+        interval_periods = rng.lognormal(0.3, 0.5)
+    else:
+        interval_periods = rng.lognormal(
+            config.mechanism.push_interval_mu_hours, 0.9)
+    domain_scale = {
+        ModelType.LINEAR: 2.0,
+        ModelType.DNN: 1.3,
+        ModelType.DNN_LINEAR: 1.3,
+    }.get(model_type, 1.0)
+
+    mechanism = config.mechanism
+    return PipelineArchetype(
+        name=f"pipeline-{index:05d}",
+        product_area=str(rng.choice(PRODUCT_AREAS)),
+        task=str(rng.choice(TASKS)),
+        model_type=model_type,
+        architecture=architecture,
+        n_features=n_features,
+        categorical_fraction=categorical_fraction,
+        domain_scale=domain_scale,
+        models_per_day=models_per_day,
+        train_every=train_every,
+        span_period_hours=span_period_hours,
+        window_spans=window_spans,
+        lifespan_days=_sample_lifespan(rng, config, model_type),
+        has_data_validation=rng.random() < config.p_data_validation,
+        has_model_validation=has_model_validation,
+        has_infra_validation=rng.random() < config.p_infra_validation,
+        has_tuner=rng.random() < config.p_tuner,
+        has_transform=has_transform,
+        has_custom_operator=rng.random() < config.p_custom_operator,
+        n_parallel_trainers=(
+            int(rng.integers(2, config.max_parallel_trainers + 1))
+            if rng.random() < config.p_ab_testing else 1),
+        retrains_per_trigger=retrains_per_trigger,
+        # Model chaining (paper intro / Section 2.1): a large model is
+        # distilled through a second Trainer into the serving model.
+        has_distillation=rng.random() < config.p_distillation,
+        warm_start=rng.random() < config.warmstart_fraction,
+        analyzer_counts=(_sample_analyzers(rng, config, n_categorical,
+                                           n_numeric)
+                         if has_transform else {}),
+        # Data volatility varies widely across product areas; the
+        # multiplier scales every drift step, making the Appendix-B
+        # similarity a genuinely informative signal across pipelines.
+        drift_multiplier=float(rng.lognormal(0.0, 0.9)),
+        pipeline_cost_scale=float(rng.lognormal(0.0, 0.6)),
+        base_quality=float(rng.uniform(mechanism.base_quality_low,
+                                       mechanism.base_quality_high)),
+        push_min_interval_hours=float(
+            (24.0 / models_per_day) * interval_periods),
+    )
+
+
+def build_pipeline(archetype: PipelineArchetype) -> PipelineDef:
+    """Construct the PipelineDef for an archetype.
+
+    Topology mirrors Figure 1(b), with optional operators per the
+    archetype's flags and one post-trainer branch per parallel trainer
+    (A/B testing trains multiple models on the same inputs).
+    """
+    nodes: list[PipelineNode] = [
+        PipelineNode("gen", ExampleGen(), stage="ingest"),
+        PipelineNode("stats", StatisticsGen(),
+                     inputs={"spans": NodeInput("gen", "span")},
+                     stage="ingest"),
+        PipelineNode("schema", SchemaGen(),
+                     inputs={"statistics": NodeInput("stats", "statistics")},
+                     stage="ingest"),
+    ]
+    training_gates: list[str] = []
+    if archetype.has_data_validation:
+        nodes.append(PipelineNode(
+            "validator", ExampleValidator(),
+            inputs={"statistics": NodeInput("stats", "statistics"),
+                    "schema": NodeInput("schema", "schema")},
+            stage="ingest"))
+        training_gates.append("validator")
+
+    window = archetype.window_spans
+    trainer_inputs: dict[str, NodeInput] = {
+        "spans": NodeInput("gen", "span", window=window),
+    }
+    if archetype.has_transform:
+        nodes.append(PipelineNode(
+            "transform",
+            Transform(analyzer_counts=archetype.analyzer_counts),
+            inputs={"spans": NodeInput("gen", "span", window=window),
+                    "schema": NodeInput("schema", "schema")},
+            gates=list(training_gates)))
+        trainer_inputs["transform_graph"] = NodeInput("transform",
+                                                      "transform_graph")
+    if archetype.has_tuner and archetype.has_transform:
+        nodes.append(PipelineNode(
+            "tuner", Tuner(),
+            inputs={"transform_graph": NodeInput("transform",
+                                                 "transform_graph")},
+            gates=list(training_gates)))
+        trainer_inputs["hyperparams"] = NodeInput("tuner", "hyperparams")
+    if archetype.has_custom_operator:
+        nodes.append(PipelineNode(
+            "custom", CustomOperator(label=f"{archetype.product_area}-udf"),
+            inputs={}, gates=list(training_gates), stage="ingest"))
+
+    for i in range(archetype.n_parallel_trainers):
+        trainer_id = f"trainer{i}"
+        inputs = dict(trainer_inputs)
+        if archetype.warm_start:
+            inputs["base_model"] = NodeInput(trainer_id, "model",
+                                             fresh=False)
+        if archetype.has_distillation:
+            # Teacher model trained first; the serving trainer distills
+            # it (model-to-model dependency in the same run). The
+            # graphlet segmentation's Trainer cut keeps the teacher in
+            # its own graphlet.
+            teacher_id = f"teacher{i}"
+            nodes.append(PipelineNode(
+                teacher_id,
+                Trainer(model_type=archetype.model_type,
+                        architecture=archetype.architecture),
+                inputs=dict(trainer_inputs), gates=list(training_gates)))
+            inputs["base_model"] = NodeInput(teacher_id, "model")
+        nodes.append(PipelineNode(
+            trainer_id,
+            Trainer(model_type=archetype.model_type,
+                    architecture=archetype.architecture,
+                    warm_start=archetype.warm_start),
+            inputs=inputs, gates=list(training_gates)))
+
+        push_gates: list[str] = []
+        pusher_inputs: dict[str, NodeInput] = {
+            "model": NodeInput(trainer_id, "model"),
+        }
+        if archetype.has_model_validation:
+            nodes.append(PipelineNode(
+                f"evaluator{i}", Evaluator(),
+                inputs={"model": NodeInput(trainer_id, "model"),
+                        "spans": NodeInput("gen", "span", window=1)}))
+            nodes.append(PipelineNode(
+                f"mvalidator{i}", ModelValidator(),
+                inputs={"evaluation": NodeInput(f"evaluator{i}",
+                                                "evaluation"),
+                        "model": NodeInput(trainer_id, "model")}))
+            push_gates.append(f"mvalidator{i}")
+            pusher_inputs["blessing"] = NodeInput(f"mvalidator{i}",
+                                                  "blessing")
+        if archetype.has_infra_validation:
+            nodes.append(PipelineNode(
+                f"ivalidator{i}", InfraValidator(),
+                inputs={"model": NodeInput(trainer_id, "model")},
+                gates=list(push_gates)))
+            push_gates.append(f"ivalidator{i}")
+        nodes.append(PipelineNode(
+            f"pusher{i}", Pusher(),
+            inputs=pusher_inputs, gates=push_gates))
+
+    return PipelineDef(archetype.name, nodes)

@@ -1,0 +1,213 @@
+"""Corpus-generation configuration.
+
+Every knob that shapes the synthetic corpus lives here, with defaults
+calibrated against the numbers the paper reports (see DESIGN.md's
+substitution table and :mod:`repro.corpus.calibration` for the targets).
+Three presets scale the corpus: ``small()`` for unit tests, ``medium()``
+for benches, and ``paper_scale()`` for the full 3000-pipeline corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.drift import DriftConfig
+from ..tfx.cost import CostModel
+from ..tfx.model_types import ModelType
+
+#: Product areas represented in the corpus (Section 2.2).
+PRODUCT_AREAS = (
+    "advertising",
+    "video_recommendations",
+    "app_recommendations",
+    "maps",
+    "search_ranking",
+    "assistant",
+)
+
+#: ML tasks represented in the corpus (Section 2.2).
+TASKS = (
+    "binary_classification",
+    "multi_label_classification",
+    "regression",
+    "ranking",
+)
+
+
+@dataclass
+class CadenceMixture:
+    """Mixture distribution of per-pipeline model-training cadence.
+
+    Figure 3(b): the majority of pipelines train ~1 model/day, a band of
+    power users trains several per day (corpus average ~7/day), and
+    1.12% of pipelines exceed 100 models/day (tail reaching ~1000).
+    """
+
+    slow_weight: float = 0.72      # lognormal around 1/day
+    slow_mu: float = 0.0
+    slow_sigma: float = 0.55
+    fast_weight: float = 0.255     # lognormal around ~8/day
+    fast_mu: float = 2.0
+    fast_sigma: float = 0.9
+    extreme_weight: float = 0.025  # log-uniform 20..1000/day
+    extreme_low: float = 20.0
+    extreme_high: float = 1000.0
+
+
+@dataclass
+class LifespanModel:
+    """Per-family lognormal lifespan (days), clipped to the corpus span.
+
+    Figure 3(d): linear-model pipelines outlive DNN pipelines.
+    """
+
+    dnn_mu: float = 3.2
+    linear_mu: float = 3.7
+    rest_mu: float = 3.4
+    sigma: float = 0.9
+    max_days: float = 130.0
+    min_days: float = 1.0
+
+
+@dataclass
+class MechanismConfig:
+    """Parameters of the latent push/no-push mechanism (Section 4.3).
+
+    The mechanism is deliberately multi-causal so that no single
+    heuristic explains waste (Section 5.1): pipeline health (AR(1)),
+    drift-driven quality loss, validation margins, throttling, code
+    churn, and per-model-type offsets all interact.
+    """
+
+    health_rho: float = 0.95
+    health_noise: float = 0.28
+    base_quality_low: float = 0.62
+    base_quality_high: float = 0.9
+    quality_health_weight: float = 0.04
+    quality_drift_weight: float = 0.08
+    quality_noise: float = 0.01
+    improvement_decay: float = 0.004  # residual staleness allowance/day
+    #: Per-span quality degradation of the *deployed* model as data
+    #: drifts away from what it was trained on, scaled by the pipeline's
+    #: drift multiplier. This is the primary push driver: a fresh model
+    #: is blessed once the baseline has rotted past the noise margin.
+    baseline_degradation_per_span: float = 0.0016
+    blessing_margin: float = -0.006
+    code_change_prob: float = 0.11    # Table 2: code match 0.845
+    trainer_fail_base: float = 0.03
+    trainer_fail_code_change: float = 0.12
+    ingest_fail_base: float = 0.01
+    ingest_fail_unhealthy: float = 0.10
+    stats_fail_base: float = 0.03
+    stats_fail_unhealthy: float = 0.45
+    code_change_quality_jitter: float = 0.03
+    stats_fail_quality_penalty: float = 0.30
+    data_validation_fail_base: float = 0.015
+    data_validation_fail_shock: float = 0.6
+    push_interval_mu_hours: float = 1.35   # in log training-periods
+    push_interval_sigma: float = 0.6
+    model_type_bless_offset: dict[str, float] = field(default_factory=lambda: {
+        ModelType.DNN.value: 0.0,
+        ModelType.DNN_LINEAR.value: 0.015,
+        ModelType.LINEAR.value: 0.03,
+        ModelType.TREES.value: -0.03,
+        ModelType.ENSEMBLE.value: -0.06,
+        ModelType.OTHER.value: -0.045,
+    })
+    #: Per-DNN-architecture blessing offsets; architectures are one-hot
+    #: model features, so this heterogeneity is observable (Figure 9(f)
+    #: style variation within the DNN family).
+    architecture_bless_offset: dict[str, float] = field(
+        default_factory=lambda: {
+            "feedforward": 0.01,
+            "wide_and_deep": 0.0,
+            "two_tower": -0.015,
+            "sequence": -0.03,
+            "cnn": 0.02,
+        })
+
+
+@dataclass
+class CorpusConfig:
+    """Top-level corpus generation configuration."""
+
+    n_pipelines: int = 150
+    seed: int = 7
+    corpus_span_days: float = 130.0
+    max_graphlets_per_pipeline: int = 120
+    max_window_spans: int = 30
+    span_examples_median: float = 10_000.0
+    span_examples_sigma: float = 1.0
+    statistics_noise: float = 0.015
+
+    # Model mix across pipelines; run-level mix (Figure 5) emerges from
+    # this combined with cadence differences.
+    model_mix: dict[ModelType, float] = field(default_factory=lambda: {
+        ModelType.DNN: 0.60,
+        ModelType.DNN_LINEAR: 0.02,
+        ModelType.LINEAR: 0.16,
+        ModelType.TREES: 0.12,
+        ModelType.ENSEMBLE: 0.04,
+        ModelType.OTHER: 0.06,
+    })
+
+    # Operator presence probabilities (Figure 6).
+    p_data_validation: float = 0.50
+    p_model_validation: float = 0.58
+    p_infra_validation: float = 0.45
+    p_tuner: float = 0.15
+    p_transform: float = 0.85
+    p_custom_operator: float = 0.20
+
+    # Topology variety.
+    p_ab_testing: float = 0.10          # parallel trainers on same inputs
+    p_distillation: float = 0.08        # trainer -> trainer model chaining
+    max_parallel_trainers: int = 3
+    warmstart_fraction: float = 0.06    # Section 5: 173/3000 pipelines
+    p_tumbling_window: float = 0.22     # no span overlap between models
+    p_retrain_same_window: float = 0.08  # repeated training on same data
+
+    # Analyzer usage (Figure 4): probability a *pipeline with Transform*
+    # uses each analyzer kind at least once.
+    analyzer_presence: dict[str, float] = field(default_factory=lambda: {
+        "vocabulary": 0.9,
+        "mean": 0.55,
+        "std": 0.5,
+        "min": 0.45,
+        "max": 0.45,
+        "quantiles": 0.35,
+        "custom": 0.3,
+    })
+
+    cadence: CadenceMixture = field(default_factory=CadenceMixture)
+    lifespan: LifespanModel = field(default_factory=LifespanModel)
+    mechanism: MechanismConfig = field(default_factory=MechanismConfig)
+    drift: DriftConfig = field(default_factory=DriftConfig)
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.n_pipelines < 1:
+            raise ValueError("n_pipelines must be >= 1")
+        total = sum(self.model_mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"model_mix must sum to 1, got {total}")
+
+    # ------------------------------------------------------------ presets
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "CorpusConfig":
+        """Unit-test scale: ~30 pipelines, a few hundred graphlets."""
+        return cls(n_pipelines=30, seed=seed,
+                   max_graphlets_per_pipeline=40, max_window_spans=18)
+
+    @classmethod
+    def medium(cls, seed: int = 7) -> "CorpusConfig":
+        """Bench scale: ~150 pipelines, several thousand graphlets."""
+        return cls(n_pipelines=150, seed=seed,
+                   max_graphlets_per_pipeline=120)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 7) -> "CorpusConfig":
+        """The paper's 3000-pipeline scale (hours of CPU; not for CI)."""
+        return cls(n_pipelines=3000, seed=seed,
+                   max_graphlets_per_pipeline=400, max_window_spans=36)

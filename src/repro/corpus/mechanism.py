@@ -1,0 +1,233 @@
+"""The latent push/no-push mechanism driving simulated pipelines.
+
+Section 4.3.2 shows the causes of unpushed graphlets are varied — no
+simple heuristic explains them. The mechanism therefore combines several
+interacting processes per pipeline:
+
+* a slowly-varying **health** state (AR(1)) that raises ingest failures
+  and depresses model quality when low;
+* **data drift** (from the pipeline's DriftProcess) that erodes quality
+  until a push resets the reference point, and whose shocks fail data
+  validation;
+* a **blessing margin**: a fresh model is blessed only if its quality
+  beats the last deployed model's (the baseline decays slowly, modeling
+  staleness, so pushes eventually resume);
+* **throttling**: a per-trainer minimum interval between pushes;
+* **code churn** that occasionally breaks the trainer;
+* **per-model-type offsets** (Figure 9(f): push likelihood varies by
+  type, all below 0.6).
+
+Observable features correlate with these latents at different pipeline
+stages, producing the paper's accuracy ladder (Table 3): input-data
+similarity sees drift; pre-trainer shape sees ingest failures (health);
+trainer shape sees trainer failures; post-trainer shape sees the
+blessing gate itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.drift import DriftProcess
+from ..tfx.runtime import RunReport
+from .archetypes import PipelineArchetype
+from .config import CorpusConfig
+
+
+@dataclass
+class _TrainerState:
+    """Per-trainer mechanism state."""
+
+    baseline_quality: float
+    last_push_time: float = float("-inf")
+    drift_at_push: float = 0.0
+    pending_quality: float = 0.0
+
+
+class PushMechanism:
+    """Generates outcome hints for each run of one pipeline."""
+
+    def __init__(self, archetype: PipelineArchetype, config: CorpusConfig,
+                 rng: np.random.Generator) -> None:
+        self._archetype = archetype
+        self._params = config.mechanism
+        self._rng = rng
+        # The deployed model degrades as the data drifts away from its
+        # training window: per hour, one span's worth of drift at the
+        # pipeline's drift rate.
+        self._degradation_per_hour = (
+            config.mechanism.baseline_degradation_per_span
+            * archetype.drift_multiplier / archetype.span_period_hours)
+        self._health = float(rng.normal(0.0, 1.0))
+        self._recent_stats_failures: list[bool] = []
+        self._code_version = 1
+        self._code_changed_this_run = False
+        self._seen_shocks = 0
+        self._trainers = {
+            node_id: _TrainerState(
+                baseline_quality=archetype.base_quality
+                - float(rng.uniform(0.01, 0.04)))
+            for node_id in archetype.trainer_node_ids
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def code_version(self) -> str:
+        """The pipeline's current trainer code version."""
+        return f"v{self._code_version}"
+
+    def begin_run(self, now: float, kind: str,
+                  drift: DriftProcess) -> dict:
+        """Hints for the run starting at ``now`` (``new_span`` excluded).
+
+        ``kind`` is ``"ingest"``, ``"train"``, or ``"retrain"`` — retrains
+        reuse the existing window, so no ingest-side failures are drawn.
+        """
+        params = self._params
+        rng = self._rng
+        self._health = (params.health_rho * self._health
+                        + rng.normal(0.0, params.health_noise))
+        unhealthy = max(-self._health, 0.0)
+
+        fail_nodes: set[str] = set()
+        if kind != "retrain":
+            ingest_fail_prob = (params.ingest_fail_base
+                                + params.ingest_fail_unhealthy
+                                * min(unhealthy / 2.0, 1.0))
+            if rng.random() < ingest_fail_prob:
+                fail_nodes.add("gen")
+            # Unhealthy pipelines also fail per-span statistics runs;
+            # those failed executions stay in the trace (zero outputs),
+            # which is how pre-trainer shape observes pipeline health.
+            stats_fail_prob = (params.stats_fail_base
+                               + params.stats_fail_unhealthy
+                               * min(unhealthy / 1.5, 1.0))
+            stats_failed = rng.random() < stats_fail_prob
+            if stats_failed:
+                fail_nodes.add("stats")
+            # Data-quality issues degrade models trained on the affected
+            # window (unvalidated data slips through): remember exactly
+            # one window's worth of outcomes for the quality penalty.
+            self._recent_stats_failures.append(stats_failed)
+            memory = max(self._archetype.window_spans, 1)
+            while len(self._recent_stats_failures) > memory:
+                self._recent_stats_failures.pop(0)
+
+        shock = drift.shock_count > self._seen_shocks
+        self._seen_shocks = drift.shock_count
+        validation_fail_prob = params.data_validation_fail_base
+        if shock:
+            validation_fail_prob = params.data_validation_fail_shock
+        data_validation_ok = rng.random() >= validation_fail_prob
+
+        hints: dict = {
+            "data_validation_ok": data_validation_ok,
+            "fail_nodes": fail_nodes,
+            "code_version": self.code_version,
+            "node_overrides": {},
+        }
+        if kind == "ingest":
+            return hints
+
+        # Trainer code churn happens on training runs. A change shifts
+        # the achievable quality persistently (authors improve or break
+        # their models) — the interaction that makes code features weak
+        # alone but useful jointly (Section 5.2.1).
+        self._code_changed_this_run = rng.random() < params.code_change_prob
+        if self._code_changed_this_run:
+            self._code_version += 1
+            self._code_quality_offset += float(rng.normal(
+                0.0, params.code_change_quality_jitter))
+            # Offsets mean-revert so pipelines neither improve nor decay
+            # without bound.
+            self._code_quality_offset *= 0.7
+            hints["code_version"] = self.code_version
+
+        drift_level = drift.drift_magnitude
+        type_offset = params.model_type_bless_offset.get(
+            self._archetype.model_type.value, 0.0)
+        type_offset += params.architecture_bless_offset.get(
+            self._archetype.architecture, 0.0)
+        for node_index, (trainer_id, state) in enumerate(
+                self._trainers.items()):
+            fail_prob = params.trainer_fail_base
+            if self._code_changed_this_run:
+                fail_prob += params.trainer_fail_code_change
+            if rng.random() < fail_prob:
+                fail_nodes.add(trainer_id)
+                continue
+            drift_penalty = params.quality_drift_weight * max(
+                drift_level - state.drift_at_push, 0.0)
+            recent_fail_fraction = (
+                float(np.mean(self._recent_stats_failures))
+                if self._recent_stats_failures else 0.0)
+            quality = (self._archetype.base_quality
+                       + self._code_quality_offset
+                       + params.quality_health_weight * self._health
+                       - drift_penalty
+                       - params.stats_fail_quality_penalty
+                       * recent_fail_fraction
+                       + rng.normal(0.0, params.quality_noise)
+                       + 0.005 * node_index)
+            quality = float(np.clip(quality, 0.0, 1.0))
+            state.pending_quality = quality
+            hours_since_push = now - state.last_push_time
+            if np.isinf(hours_since_push):
+                # Nothing deployed yet: any healthy model clears the bar.
+                current_baseline = state.baseline_quality
+            else:
+                rot = (self._degradation_per_hour
+                       + params.improvement_decay / 24.0) * hours_since_push
+                current_baseline = state.baseline_quality - rot
+            blessed = (quality + type_offset
+                       >= current_baseline - params.blessing_margin)
+            throttled = hours_since_push \
+                < self._archetype.push_min_interval_hours
+            overrides = hints["node_overrides"]
+            overrides[f"evaluator{node_index}"] = {"model_quality": quality}
+            overrides[f"mvalidator{node_index}"] = {
+                "model_blessed": blessed, "model_quality": quality}
+            # Deployment-side rate limiting surfaces at the infra
+            # validation step when the pipeline has one (the serving
+            # infrastructure refuses the load test while throttled);
+            # otherwise the Pusher runs and silently skips the push.
+            if self._archetype.has_infra_validation:
+                # The serving load-test surfaces rate limiting most of
+                # the time (it exercises the same deployment quota); a
+                # small residual stays invisible to the trace, which is
+                # one reason RF:Validation is near- but not perfectly
+                # oracular (paper: 0.948).
+                infra_sees_throttle = throttled and rng.random() < 0.97
+                overrides[f"ivalidator{node_index}"] = {
+                    "infra_ok": (not infra_sees_throttle)
+                    and rng.random() >= 0.02}
+                overrides[f"pusher{node_index}"] = {
+                    "push_throttled": throttled
+                    and not infra_sees_throttle}
+            else:
+                overrides[f"ivalidator{node_index}"] = {
+                    "infra_ok": rng.random() >= 0.02}
+                overrides[f"pusher{node_index}"] = {
+                    "push_throttled": throttled}
+        return hints
+
+    def observe(self, report: RunReport, now: float) -> None:
+        """Update per-trainer state from the run's outcomes."""
+        for node_index, (trainer_id, state) in enumerate(
+                self._trainers.items()):
+            pusher_id = f"pusher{node_index}"
+            pushed = bool(report.output_artifact_ids.get(pusher_id))
+            if pushed:
+                state.last_push_time = now
+                state.baseline_quality = state.pending_quality
+                state.drift_at_push = self._last_drift_level
+
+    def note_drift(self, drift: DriftProcess) -> None:
+        """Record the drift level used for baseline resets on push."""
+        self._last_drift_level = drift.drift_magnitude
+
+    _last_drift_level: float = 0.0
+    _code_quality_offset: float = 0.0

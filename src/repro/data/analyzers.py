@@ -1,0 +1,300 @@
+"""Feature-transformation analyzers (the first, expensive stage).
+
+Section 3.2: feature transformations run in two stages — an *analysis*
+stage computing statistics over the data (expensive reductions: top-K
+vocabularies, min/max, mean/std, quantiles, custom UDFs), and an
+embarrassingly-parallel apply stage. The paper's Figure 4 measures which
+analyzers production pipelines use; vocabulary computation over
+categorical features dominates.
+
+This module implements the canonical analyzers over materialized columns,
+plus an **incremental vocabulary analyzer** demonstrating the
+incremental-view-maintenance optimization the paper calls out for rolling
+windows of overlapping spans (Sections 3.2 / 4.2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .spans import DataSpan
+
+
+class AnalyzerKind(enum.Enum):
+    """The analyzer taxonomy of Figure 4."""
+
+    VOCABULARY = "vocabulary"
+    MIN = "min"
+    MAX = "max"
+    MEAN = "mean"
+    STD = "std"
+    QUANTILES = "quantiles"
+    CUSTOM = "custom"
+
+
+@dataclass
+class AnalyzerResult:
+    """Output of one analyzer over one feature across spans."""
+
+    kind: AnalyzerKind
+    feature: str
+    value: object
+
+
+class Analyzer:
+    """Base class: a named reduction over a feature's values."""
+
+    kind: AnalyzerKind
+
+    def __init__(self, feature: str) -> None:
+        self.feature = feature
+
+    def analyze(self, spans: list[DataSpan]) -> AnalyzerResult:
+        """Run the reduction over the concatenated spans."""
+        values = np.concatenate(
+            [span.column(self.feature) for span in spans]
+        ) if spans else np.asarray([])
+        return AnalyzerResult(self.kind, self.feature, self._reduce(values))
+
+    def _reduce(self, values: np.ndarray):
+        raise NotImplementedError
+
+
+class MinAnalyzer(Analyzer):
+    """Minimum of a numeric feature."""
+
+    kind = AnalyzerKind.MIN
+
+    def _reduce(self, values: np.ndarray):
+        return float(values.min()) if values.size else float("nan")
+
+
+class MaxAnalyzer(Analyzer):
+    """Maximum of a numeric feature."""
+
+    kind = AnalyzerKind.MAX
+
+    def _reduce(self, values: np.ndarray):
+        return float(values.max()) if values.size else float("nan")
+
+
+class MeanAnalyzer(Analyzer):
+    """Mean of a numeric feature (first half of the z-score transform)."""
+
+    kind = AnalyzerKind.MEAN
+
+    def _reduce(self, values: np.ndarray):
+        return float(values.mean()) if values.size else float("nan")
+
+
+class StdAnalyzer(Analyzer):
+    """Standard deviation of a numeric feature."""
+
+    kind = AnalyzerKind.STD
+
+    def _reduce(self, values: np.ndarray):
+        return float(values.std()) if values.size else float("nan")
+
+
+class QuantilesAnalyzer(Analyzer):
+    """Equi-probability bucket boundaries of a numeric feature."""
+
+    kind = AnalyzerKind.QUANTILES
+
+    def __init__(self, feature: str, num_quantiles: int = 10) -> None:
+        super().__init__(feature)
+        if num_quantiles < 2:
+            raise ValueError("num_quantiles must be >= 2")
+        self.num_quantiles = num_quantiles
+
+    def _reduce(self, values: np.ndarray):
+        if not values.size:
+            return []
+        qs = np.linspace(0.0, 1.0, self.num_quantiles + 1)[1:-1]
+        return np.quantile(values, qs).tolist()
+
+
+class VocabularyAnalyzer(Analyzer):
+    """Top-K vocabulary over a categorical feature.
+
+    The dominant analyzer in production (Figure 4): computes the K most
+    frequent terms and maps them to the numeric domain [0, K). The paper
+    highlights this as a large top-K query over an aggregation (K from
+    hundreds of thousands to millions in practice).
+    """
+
+    kind = AnalyzerKind.VOCABULARY
+
+    def __init__(self, feature: str, top_k: int = 1000) -> None:
+        super().__init__(feature)
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = top_k
+
+    def _reduce(self, values: np.ndarray):
+        if not values.size:
+            return {}
+        unique, counts = np.unique(values, return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        top = unique[order][: self.top_k]
+        return {term.item() if hasattr(term, "item") else term: index
+                for index, term in enumerate(top)}
+
+
+class CustomAnalyzer(Analyzer):
+    """A black-box UDF analyzer (Figure 4's "custom" slice)."""
+
+    kind = AnalyzerKind.CUSTOM
+
+    def __init__(self, feature: str,
+                 fn: Callable[[np.ndarray], object]) -> None:
+        super().__init__(feature)
+        self._fn = fn
+
+    def _reduce(self, values: np.ndarray):
+        return self._fn(values)
+
+
+@dataclass
+class IncrementalVocabularyAnalyzer:
+    """Vocabulary maintenance over a sliding window of spans.
+
+    The incremental-view-maintenance optimization the paper motivates:
+    with a mean Jaccard span overlap of 0.647 between consecutive
+    graphlets, recomputing the vocabulary from scratch re-scans mostly
+    unchanged data. This analyzer maintains term counts and updates them
+    by adding/removing only the delta spans.
+
+    Example:
+        >>> analyzer = IncrementalVocabularyAnalyzer("f", top_k=2)
+        >>> # add_span / remove_span maintain counts; vocabulary() is O(V).
+    """
+
+    feature: str
+    top_k: int = 1000
+    _terms: np.ndarray | None = None
+    _term_counts: np.ndarray | None = None
+    _window: dict[int, DataSpan] = field(default_factory=dict)
+    _span_uniques: dict[int, tuple] = field(default_factory=dict)
+
+    def _apply(self, unique: np.ndarray, counts: np.ndarray,
+               sign: int) -> None:
+        """Merge a span's term counts into the maintained sorted arrays.
+
+        Fully vectorized: O(V) per update where V is the vocabulary of
+        the live window — independent of the window's raw data volume,
+        which is the entire point of maintaining the view.
+        """
+        if self._terms is None or not len(self._terms):
+            if sign < 0:
+                raise KeyError("removing from an empty vocabulary")
+            self._terms = unique.copy()
+            self._term_counts = counts.astype(np.int64)
+            return
+        positions = np.searchsorted(self._terms, unique)
+        in_range = positions < len(self._terms)
+        known = np.zeros(len(unique), dtype=bool)
+        known[in_range] = self._terms[positions[in_range]] \
+            == unique[in_range]
+        if known.all():
+            # Steady state: every term already tracked — update in place.
+            self._term_counts[positions] += sign * counts
+        else:
+            if sign < 0:
+                raise KeyError("removing terms absent from the vocabulary")
+            merged_terms = np.union1d(self._terms, unique)
+            merged_counts = np.zeros(len(merged_terms), dtype=np.int64)
+            merged_counts[np.searchsorted(merged_terms, self._terms)] \
+                += self._term_counts
+            merged_counts[np.searchsorted(merged_terms, unique)] \
+                += sign * counts
+            self._terms = merged_terms
+            self._term_counts = merged_counts
+        if sign < 0:
+            alive = self._term_counts > 0
+            if not alive.all():
+                self._terms = self._terms[alive]
+                self._term_counts = self._term_counts[alive]
+
+    def add_span(self, span: DataSpan) -> None:
+        """Add one span's contribution to the maintained counts."""
+        if span.span_id in self._window:
+            raise ValueError(f"span {span.span_id} already in window")
+        unique, counts = self._unique_of(span)
+        self._apply(unique, counts, +1)
+        self._window[span.span_id] = span
+
+    def remove_span(self, span_id: int) -> None:
+        """Remove one span's contribution (it must be in the window)."""
+        span = self._window.pop(span_id, None)
+        if span is None:
+            raise KeyError(f"span {span_id} not in window")
+        unique, counts = self._span_uniques.pop(span_id, (None, None))
+        if unique is None:
+            unique, counts = np.unique(span.column(self.feature),
+                                       return_counts=True)
+        self._apply(unique, counts, -1)
+
+    def _unique_of(self, span: DataSpan) -> tuple:
+        """Per-span (unique terms, counts), computed once per residency."""
+        cached = self._span_uniques.get(span.span_id)
+        if cached is None:
+            cached = np.unique(span.column(self.feature),
+                               return_counts=True)
+            self._span_uniques[span.span_id] = cached
+        return cached
+
+    def advance_to(self, spans: list[DataSpan]) -> int:
+        """Reconcile the window to exactly ``spans``; returns delta size.
+
+        Spans already present are untouched — only departures are removed
+        and arrivals added. The return value counts spans touched, which
+        the ablation bench compares against full recomputation.
+        """
+        target = {span.span_id: span for span in spans}
+        departed = [sid for sid in self._window if sid not in target]
+        arrived = [sid for sid in target if sid not in self._window]
+        for sid in departed:
+            self.remove_span(sid)
+        for sid in arrived:
+            self.add_span(target[sid])
+        return len(departed) + len(arrived)
+
+    def vocabulary(self) -> dict:
+        """The current top-K vocabulary, term → index.
+
+        Ties break by ascending term, matching
+        :class:`VocabularyAnalyzer`'s batch computation. The sort is
+        vectorized — this is the per-refresh cost that stays O(V log V)
+        while the *count maintenance* above is O(delta).
+        """
+        if self._terms is None or not len(self._terms):
+            return {}
+        # Terms are maintained sorted ascending, so a stable sort on
+        # -count breaks ties by ascending term, matching the batch path.
+        order = np.argsort(-self._term_counts, kind="stable")[: self.top_k]
+        return {
+            term.item() if hasattr(term, "item") else term: index
+            for index, term in enumerate(self._terms[order])
+        }
+
+    @property
+    def window_span_ids(self) -> set[int]:
+        """Span ids currently contributing to the counts."""
+        return set(self._window)
+
+
+#: Registry mapping analyzer kinds to classes, for corpus configuration.
+ANALYZER_CLASSES: dict[AnalyzerKind, type] = {
+    AnalyzerKind.VOCABULARY: VocabularyAnalyzer,
+    AnalyzerKind.MIN: MinAnalyzer,
+    AnalyzerKind.MAX: MaxAnalyzer,
+    AnalyzerKind.MEAN: MeanAnalyzer,
+    AnalyzerKind.STD: StdAnalyzer,
+    AnalyzerKind.QUANTILES: QuantilesAnalyzer,
+    AnalyzerKind.CUSTOM: CustomAnalyzer,
+}

@@ -1,0 +1,144 @@
+"""Data drift processes.
+
+Section 4.2 of the paper finds that consecutive model updates see large
+span overlap but meaningfully shifting content distributions, and that
+long-running pipelines show higher data volatility. This module supplies
+the drift machinery the corpus generator uses to reproduce that: a
+slowly-varying random-walk state per feature, with occasional shocks
+(schema-change-like events) that data validation would flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import FeatureType, Schema
+
+
+@dataclass
+class DriftConfig:
+    """Parameters of the per-feature drift random walk.
+
+    Attributes:
+        numeric_mean_step: Std-dev of the per-step additive walk on a
+            numeric feature's mean (in units of the feature's stddev).
+        numeric_scale_step: Std-dev of the per-step multiplicative walk on
+            a numeric feature's stddev (log-space).
+        zipf_step: Std-dev of the per-step additive walk on a categorical
+            feature's Zipf exponent.
+        shock_probability: Per-step probability of a distribution shock
+            (a large jump, modeling upstream data bugs / seasonality).
+        shock_scale: Multiplier applied to step sizes during a shock.
+    """
+
+    numeric_mean_step: float = 0.02
+    numeric_scale_step: float = 0.01
+    numeric_weight_step: float = 0.06
+    numeric_offset_step: float = 0.12
+    zipf_step: float = 0.05
+    shock_probability: float = 0.01
+    shock_scale: float = 20.0
+
+
+@dataclass
+class DriftProcess:
+    """Evolves a schema's generative domains over simulated time.
+
+    The process is deterministic given the seed, so corpora are exactly
+    reproducible. ``step()`` advances the walk and returns the drifted
+    schema; the original schema is never mutated.
+
+    Example:
+        >>> from repro.data.generators import random_schema
+        >>> rng = np.random.default_rng(0)
+        >>> process = DriftProcess(random_schema(rng, n_features=4), rng)
+        >>> drifted = process.step()
+        >>> len(drifted) == 4
+        True
+    """
+
+    schema: Schema
+    rng: np.random.Generator
+    config: DriftConfig = field(default_factory=DriftConfig)
+    _mean_offsets: dict[str, float] = field(default_factory=dict)
+    _scale_offsets: dict[str, float] = field(default_factory=dict)
+    _weight_offsets: dict[str, float] = field(default_factory=dict)
+    _modepos_offsets: dict[str, float] = field(default_factory=dict)
+    _zipf_offsets: dict[str, float] = field(default_factory=dict)
+    _steps: int = 0
+    _shocks: int = 0
+
+    def step(self) -> Schema:
+        """Advance one drift step; return the drifted schema snapshot."""
+        shock = self.rng.random() < self.config.shock_probability
+        scale = self.config.shock_scale if shock else 1.0
+        if shock:
+            self._shocks += 1
+        self._steps += 1
+        for spec in self.schema:
+            if spec.type is FeatureType.NUMERIC:
+                self._mean_offsets[spec.name] = (
+                    self._mean_offsets.get(spec.name, 0.0)
+                    + self.rng.normal(
+                        0.0, self.config.numeric_mean_step * scale)
+                    * spec.numeric.stddev)
+                self._scale_offsets[spec.name] = (
+                    self._scale_offsets.get(spec.name, 0.0)
+                    + self.rng.normal(
+                        0.0, self.config.numeric_scale_step * scale))
+                self._weight_offsets[spec.name] = (
+                    self._weight_offsets.get(spec.name, 0.0)
+                    + self.rng.normal(
+                        0.0, self.config.numeric_weight_step * scale))
+                self._modepos_offsets[spec.name] = (
+                    self._modepos_offsets.get(spec.name, 0.0)
+                    + self.rng.normal(
+                        0.0, self.config.numeric_offset_step * scale))
+            else:
+                self._zipf_offsets[spec.name] = (
+                    self._zipf_offsets.get(spec.name, 0.0)
+                    + self.rng.normal(0.0, self.config.zipf_step * scale))
+        return self.current()
+
+    def current(self) -> Schema:
+        """The drifted schema at the current step (no state change)."""
+        drifted = []
+        for spec in self.schema:
+            if spec.type is FeatureType.NUMERIC:
+                domain = spec.numeric.shifted(
+                    self._mean_offsets.get(spec.name, 0.0),
+                    float(np.exp(self._scale_offsets.get(spec.name, 0.0))),
+                    weight_delta=self._weight_offsets.get(spec.name, 0.0),
+                    offset_delta=self._modepos_offsets.get(spec.name, 0.0))
+                drifted.append(type(spec)(name=spec.name, type=spec.type,
+                                          numeric=domain))
+            else:
+                domain = spec.categorical.shifted(
+                    self._zipf_offsets.get(spec.name, 0.0), 1.0)
+                drifted.append(type(spec)(name=spec.name, type=spec.type,
+                                          categorical=domain))
+        return Schema(features=drifted)
+
+    @property
+    def drift_magnitude(self) -> float:
+        """Aggregate drift distance from the base schema.
+
+        Mean absolute offset across features, in native walk units; the
+        corpus generator uses this as the latent "data quality" signal
+        feeding the push mechanism.
+        """
+        offsets = (list(self._mean_offsets.values())
+                   + list(self._scale_offsets.values())
+                   + list(self._weight_offsets.values())
+                   + list(self._modepos_offsets.values())
+                   + list(self._zipf_offsets.values()))
+        if not offsets:
+            return 0.0
+        return float(np.mean(np.abs(offsets)))
+
+    @property
+    def shock_count(self) -> int:
+        """Number of shocks the process has experienced."""
+        return self._shocks

@@ -1,0 +1,193 @@
+"""Random schema and statistics-only span generation.
+
+Two generation paths exist:
+
+* :func:`repro.data.spans.materialize_span` samples actual rows — used by
+  the real-execution path (examples, operator tests).
+* :func:`synthesize_span_statistics` computes a span's summary statistics
+  *analytically* from the schema's generative domains (plus sampling
+  noise) — used by the corpus generator, which must emit hundreds of
+  thousands of spans quickly. Both paths produce the same
+  :class:`~repro.data.statistics.SpanStatistics` shape, and a test
+  verifies they agree in distribution.
+
+Schema generation is calibrated to Section 3.2: the majority of pipelines
+use up to 100 features with a heavy tail to tens of thousands; ~53% of
+features are categorical; categorical domains average ~10.6M unique
+values (lognormal across features).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import ndtr
+
+from .schema import (
+    CategoricalDomain,
+    FeatureSpec,
+    FeatureType,
+    NumericDomain,
+    Schema,
+)
+from .spans import DataSpan
+from .statistics import (
+    NUM_BINS,
+    TOP_K_TERMS,
+    CategoricalStatistics,
+    FeatureStatistics,
+    NumericStatistics,
+    SpanStatistics,
+)
+
+#: Average fraction of categorical features (paper: 53%).
+CATEGORICAL_FRACTION = 0.53
+
+#: Median of the lognormal categorical domain-size distribution; chosen so
+#: the mean is ~10.6M (Section 3.2) given the sigma below.
+DOMAIN_SIZE_MEDIAN = 2.0e6
+DOMAIN_SIZE_SIGMA = 1.83
+
+
+def sample_feature_count(rng: np.random.Generator) -> int:
+    """Draw a pipeline's feature count.
+
+    Lognormal body (mode ~20, majority <= 100) with a small power-law tail
+    reaching tens of thousands — Figure 3(c)/(f).
+    """
+    if rng.random() < 0.03:
+        # Tail: pareto over [300, ~50k].
+        count = int(300 * (1.0 + rng.pareto(1.1)))
+        return min(count, 50_000)
+    return max(1, int(rng.lognormal(mean=3.2, sigma=1.0)))
+
+
+def sample_domain_size(rng: np.random.Generator,
+                       scale: float = 1.0) -> int:
+    """Draw a categorical feature's unique-value count.
+
+    ``scale`` lets archetypes shift the distribution (the paper reports
+    13.6M average for DNN pipelines and >20M for linear pipelines).
+    """
+    size = rng.lognormal(mean=math.log(DOMAIN_SIZE_MEDIAN * scale),
+                         sigma=DOMAIN_SIZE_SIGMA)
+    return max(11, int(size))
+
+
+def random_schema(rng: np.random.Generator,
+                  n_features: int | None = None,
+                  categorical_fraction: float = CATEGORICAL_FRACTION,
+                  domain_scale: float = 1.0) -> Schema:
+    """Generate a random pipeline schema.
+
+    Args:
+        rng: Source of randomness (corpus generation is seed-stable).
+        n_features: Fixed feature count, or None to sample per the paper's
+            distribution.
+        categorical_fraction: Expected fraction of categorical features.
+        domain_scale: Multiplier on categorical domain sizes.
+    """
+    if n_features is None:
+        n_features = sample_feature_count(rng)
+    features = []
+    for index in range(n_features):
+        if rng.random() < categorical_fraction:
+            features.append(FeatureSpec(
+                name=f"f{index:05d}",
+                type=FeatureType.CATEGORICAL,
+                categorical=CategoricalDomain(
+                    unique_values=sample_domain_size(rng, domain_scale),
+                    zipf_s=float(rng.uniform(1.05, 1.6)))))
+        else:
+            features.append(FeatureSpec(
+                name=f"f{index:05d}",
+                type=FeatureType.NUMERIC,
+                numeric=NumericDomain(
+                    mean=float(rng.normal(0.0, 5.0)),
+                    stddev=float(rng.lognormal(0.0, 0.5)),
+                    mode_weight=float(rng.uniform(0.0, 0.35)),
+                    mode_offset=float(rng.uniform(1.0, 5.0)))))
+    return Schema(features=features)
+
+
+def _analytic_numeric_histogram(domain: NumericDomain,
+                                rng: np.random.Generator,
+                                noise: float) -> NumericStatistics:
+    """Histogram of the domain's normal mixture, 10 bins over its range."""
+    mean, stddev = domain.mean, max(domain.stddev, 1e-9)
+    second_mean = mean + domain.mode_offset * stddev
+    low = min(mean, second_mean) - 3.0 * stddev
+    high = max(mean, second_mean) + 3.0 * stddev
+    edges = np.linspace(low, high, NUM_BINS + 1)
+    weight = domain.mode_weight
+    cdf = ((1.0 - weight) * ndtr((edges - mean) / stddev)
+           + weight * ndtr((edges - second_mean) / stddev))
+    mass = np.diff(cdf)
+    if noise > 0:
+        mass = mass * rng.lognormal(0.0, noise, size=NUM_BINS)
+    mass = np.clip(mass, 1e-12, None)
+    mass = mass / mass.sum()
+    return NumericStatistics(histogram=mass, low=low, high=high, count=0)
+
+
+def _analytic_top_counts(domain: CategoricalDomain, num_examples: int,
+                         rng: np.random.Generator,
+                         noise: float) -> CategoricalStatistics:
+    """Top-10 Zipf term counts without sampling the (huge) term space."""
+    n = domain.unique_values
+    s = domain.zipf_s
+    ranks = np.arange(1, TOP_K_TERMS + 1, dtype=float)
+    head = ranks ** (-s)
+    # Total mass approximated by head sum + integral tail.
+    cap = float(TOP_K_TERMS)
+    if abs(s - 1.0) < 1e-9:
+        tail = math.log(n / cap) if n > cap else 0.0
+    else:
+        tail = max((n ** (1 - s) - cap ** (1 - s)) / (1 - s), 0.0)
+    total_mass = head.sum() + tail
+    probs = head / total_mass
+    counts = probs * num_examples
+    if noise > 0:
+        counts = counts * rng.lognormal(0.0, noise, size=TOP_K_TERMS)
+    counts = np.maximum(np.sort(counts)[::-1], 0.0)
+    unique = min(n, num_examples)
+    return CategoricalStatistics(
+        top_counts=[int(round(c)) for c in counts],
+        unique_count=int(unique),
+        total_count=num_examples,
+        domain_size=int(n))
+
+
+def synthesize_span_statistics(schema: Schema, num_examples: int,
+                               rng: np.random.Generator,
+                               noise: float = 0.05) -> SpanStatistics:
+    """Compute a span's summary statistics analytically from the schema.
+
+    ``noise`` injects lognormal multiplicative noise on bin masses and
+    term counts to emulate finite-sample variation; with ``noise=0`` the
+    statistics are the exact expectations.
+    """
+    features: dict[str, FeatureStatistics] = {}
+    for spec in schema:
+        if spec.type is FeatureType.NUMERIC:
+            features[spec.name] = FeatureStatistics(
+                name=spec.name, type=spec.type,
+                numeric=_analytic_numeric_histogram(spec.numeric, rng,
+                                                    noise))
+        else:
+            features[spec.name] = FeatureStatistics(
+                name=spec.name, type=spec.type,
+                categorical=_analytic_top_counts(
+                    spec.categorical, num_examples, rng, noise))
+    return SpanStatistics(features=features, num_examples=num_examples)
+
+
+def synthetic_span(schema: Schema, span_id: int, num_examples: int,
+                   rng: np.random.Generator, ingest_time: float = 0.0,
+                   noise: float = 0.05) -> DataSpan:
+    """A statistics-only span (no materialized rows)."""
+    return DataSpan(
+        span_id=span_id, ingest_time=ingest_time,
+        statistics=synthesize_span_statistics(schema, num_examples, rng,
+                                              noise))

@@ -1,0 +1,152 @@
+"""Feature schemas for pipeline input data.
+
+The paper distinguishes two feature kinds (Section 3.2): *numerical*
+(e.g. length of a video) and *categorical/sparse* (e.g. video id, query
+text), with ~53% of features categorical on average and categorical
+domains averaging 10.6M unique values. A :class:`Schema` captures a
+pipeline's feature space; data spans are generated against it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FeatureType(enum.Enum):
+    """Kind of a feature as treated in training (not its encoding)."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+@dataclass
+class NumericDomain:
+    """Generative parameters of a numeric feature.
+
+    Values are modeled as a two-component normal mixture: a main component
+    at ``mean`` and a secondary component offset by ``mode_offset``
+    standard deviations carrying ``mode_weight`` of the mass. With
+    ``mode_weight == 0`` this is a plain normal. The mixture matters for
+    drift realism: span statistics rescale the value range to [0, 1]
+    (Appendix B), so a pure location/scale walk leaves the standardized
+    histogram unchanged — only *shape* changes (here: the mixture weight
+    and separation) are observable, exactly as with real drifting data.
+    """
+
+    mean: float = 0.0
+    stddev: float = 1.0
+    mode_weight: float = 0.0
+    mode_offset: float = 0.0
+
+    def shifted(self, mean_delta: float, stddev_scale: float,
+                weight_delta: float = 0.0,
+                offset_delta: float = 0.0) -> "NumericDomain":
+        """Return a drifted copy of this domain."""
+        return NumericDomain(
+            mean=self.mean + mean_delta,
+            stddev=max(1e-6, self.stddev * stddev_scale),
+            mode_weight=float(min(max(self.mode_weight + weight_delta, 0.0),
+                                  0.5)),
+            mode_offset=self.mode_offset + offset_delta)
+
+
+@dataclass
+class CategoricalDomain:
+    """Generative parameters of a categorical/sparse feature.
+
+    Term frequencies follow a Zipf law with exponent ``zipf_s`` over
+    ``unique_values`` terms — the standard model for id-like and text-token
+    features, and the regime in which the paper's vocabulary (top-K)
+    analysis is expensive.
+    """
+
+    unique_values: int = 1000
+    zipf_s: float = 1.2
+
+    def shifted(self, zipf_delta: float, unique_scale: float
+                ) -> "CategoricalDomain":
+        """Return a drifted copy of this domain."""
+        return CategoricalDomain(
+            unique_values=max(11, int(self.unique_values * unique_scale)),
+            zipf_s=max(0.2, self.zipf_s + zipf_delta))
+
+
+@dataclass
+class FeatureSpec:
+    """One feature: a name, a kind, and a generative domain."""
+
+    name: str
+    type: FeatureType
+    numeric: NumericDomain | None = None
+    categorical: CategoricalDomain | None = None
+
+    def __post_init__(self) -> None:
+        if self.type is FeatureType.NUMERIC and self.numeric is None:
+            self.numeric = NumericDomain()
+        if self.type is FeatureType.CATEGORICAL and self.categorical is None:
+            self.categorical = CategoricalDomain()
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for categorical/sparse features."""
+        return self.type is FeatureType.CATEGORICAL
+
+
+@dataclass
+class Schema:
+    """The feature space of a pipeline's input data.
+
+    Attributes:
+        features: Ordered feature specs; order is stable across spans.
+    """
+
+    features: list[FeatureSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def __iter__(self):
+        return iter(self.features)
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Names of all features, in schema order."""
+        return [f.name for f in self.features]
+
+    @property
+    def num_categorical(self) -> int:
+        """Count of categorical features."""
+        return sum(1 for f in self.features if f.is_categorical)
+
+    @property
+    def num_numeric(self) -> int:
+        """Count of numeric features."""
+        return len(self.features) - self.num_categorical
+
+    @property
+    def categorical_fraction(self) -> float:
+        """Fraction of features that are categorical (paper avg: 0.53)."""
+        if not self.features:
+            return 0.0
+        return self.num_categorical / len(self.features)
+
+    @property
+    def mean_domain_size(self) -> float:
+        """Mean unique-value count across categorical features.
+
+        The paper reports 10.6M on average (13.6M for DNN pipelines,
+        >20M for linear pipelines).
+        """
+        sizes = [f.categorical.unique_values for f in self.features
+                 if f.is_categorical]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    def feature(self, name: str) -> FeatureSpec:
+        """Return the feature spec with the given name."""
+        for spec in self.features:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no feature named {name!r}")

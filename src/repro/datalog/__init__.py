@@ -1,0 +1,18 @@
+"""A small bottom-up Datalog engine with stratified negation.
+
+Used to execute the paper's Appendix-A graphlet segmentation queries
+declaratively; also a standalone substrate with its own tests.
+"""
+
+from .engine import Evaluator, StratificationError, evaluate
+from .program import Atom, Program, Rule, Variable
+
+__all__ = [
+    "Atom",
+    "Evaluator",
+    "Program",
+    "Rule",
+    "StratificationError",
+    "Variable",
+    "evaluate",
+]

@@ -1,0 +1,102 @@
+"""AST for Datalog programs.
+
+Appendix A of the paper defines graphlet segmentation as a recursive
+Datalog query with negation; :mod:`repro.datalog.engine` evaluates such
+programs bottom-up. The AST here is deliberately small: atoms over named
+relations, with variables and constants, plus negated body atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = object  # Variable or any hashable constant.
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``relation(t1, ..., tn)`` with optional negation.
+
+    Negated atoms may only appear in rule bodies and must be *safe*: every
+    variable in a negated atom must also occur in a positive body atom.
+    """
+
+    relation: str
+    terms: tuple
+    negated: bool = False
+
+    @property
+    def variables(self) -> set[Variable]:
+        """All variables appearing in the atom's terms."""
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def __repr__(self) -> str:
+        inner = f"{self.relation}({', '.join(map(repr, self.terms))})"
+        return f"NOT {inner}" if self.negated else inner
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule ``head :- body``.
+
+    Facts are rules with an empty body and a ground head.
+    """
+
+    head: Atom
+    body: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.head.negated:
+            raise ValueError("rule heads cannot be negated")
+        positive_vars: set[Variable] = set()
+        for atom in self.body:
+            if not atom.negated:
+                positive_vars |= atom.variables
+        for atom in self.body:
+            if atom.negated and not atom.variables <= positive_vars:
+                raise ValueError(
+                    f"unsafe negation in rule: {self}; variables in negated "
+                    "atoms must be bound by a positive atom")
+        if not self.body and self.head.variables:
+            raise ValueError(f"fact with unbound variables: {self.head}")
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(repr, self.body))}."
+
+
+@dataclass
+class Program:
+    """A Datalog program: a list of rules plus extensional facts.
+
+    Extensional relations (EDB) are supplied as ``facts``; intensional
+    relations (IDB) are defined by ``rules``.
+    """
+
+    rules: list[Rule] = field(default_factory=list)
+    facts: dict[str, set[tuple]] = field(default_factory=dict)
+
+    def add_fact(self, relation: str, *values) -> None:
+        """Add a ground tuple to an extensional relation."""
+        self.facts.setdefault(relation, set()).add(tuple(values))
+
+    def add_rule(self, head: Atom, *body: Atom) -> None:
+        """Append a rule ``head :- body``."""
+        self.rules.append(Rule(head, tuple(body)))
+
+    @property
+    def idb_relations(self) -> set[str]:
+        """Relations defined by at least one rule head."""
+        return {rule.head.relation for rule in self.rules}

@@ -1,0 +1,38 @@
+"""Model graphlets: segmentation, views, and structural features."""
+
+from .datalog_rules import build_program, datalog_graphlet_executions
+from .features import (
+    STAGE_POST,
+    STAGE_PRE,
+    STAGE_TRAINER,
+    GraphletShape,
+    OperatorShape,
+    graphlet_shape,
+    stage_of_group,
+)
+from .graphlet import DATA_ANALYSIS_TYPES, STOP_TYPES, Graphlet
+from .segmentation import (
+    consecutive_pairs,
+    segment_corpus,
+    segment_pipeline,
+    segment_trainer,
+)
+
+__all__ = [
+    "DATA_ANALYSIS_TYPES",
+    "Graphlet",
+    "GraphletShape",
+    "OperatorShape",
+    "STAGE_POST",
+    "STAGE_PRE",
+    "STAGE_TRAINER",
+    "STOP_TYPES",
+    "build_program",
+    "consecutive_pairs",
+    "datalog_graphlet_executions",
+    "graphlet_shape",
+    "segment_corpus",
+    "segment_pipeline",
+    "segment_trainer",
+    "stage_of_group",
+]

@@ -1,0 +1,85 @@
+"""Appendix A's graphlet queries, executed on the Datalog engine.
+
+The paper specifies segmentation declaratively:
+
+    g(V) :- E(V, X), g(X).
+    g(V) :- g(X), E(X, V), NOT sc(V).
+
+with ``sc`` holding Trainer and Transform executions. Here we build that
+program (refined with the warm-start cut of Figure 8: ancestor traversal
+does not pass through other Trainer executions) over the edge relation
+of one pipeline's trace and evaluate it bottom-up. The result must match
+the imperative BFS in :mod:`repro.graphlets.segmentation` — a test
+enforces it — making the BFS a verified, faster implementation of the
+declarative spec.
+"""
+
+from __future__ import annotations
+
+from ..datalog import Atom, Program, Variable, evaluate
+from ..mlmd import EventType, MetadataStore
+from .graphlet import STOP_TYPES
+
+
+def build_program(store: MetadataStore, pipeline_context_id: int,
+                  trainer_id: int) -> Program:
+    """Construct the Appendix-A program for one trainer execution."""
+    program = Program()
+    executions = store.get_executions_by_context(pipeline_context_id)
+    execution_ids = {e.id for e in executions}
+    for execution in executions:
+        if execution.type_name in STOP_TYPES:
+            program.add_fact("stop", execution.id)
+        if execution.type_name == "Trainer":
+            program.add_fact("trainer", execution.id)
+    for event in store.get_events():
+        if event.execution_id not in execution_ids:
+            continue
+        if event.type is EventType.INPUT:
+            program.add_fact("inp", event.artifact_id, event.execution_id)
+        else:
+            program.add_fact("out", event.execution_id, event.artifact_id)
+    program.add_fact("seed", trainer_id)
+    # Ensure negated relations exist even when empty.
+    program.facts.setdefault("stop", set())
+    program.facts.setdefault("trainer", set())
+
+    n = Variable("n")
+    e = Variable("e")
+    e2 = Variable("e2")
+    a = Variable("a")
+    # Ancestors, cutting at other Trainer executions (Figure 8's cut).
+    program.add_rule(Atom("anc", (e,)),
+                     Atom("seed", (n,)), Atom("inp", (a, n)),
+                     Atom("out", (e, a)),
+                     Atom("trainer", (e,), negated=True))
+    program.add_rule(Atom("anc", (e,)),
+                     Atom("anc", (e2,)), Atom("inp", (a, e2)),
+                     Atom("out", (e, a)),
+                     Atom("trainer", (e,), negated=True))
+    # Descendants, stopping at sc = {Trainer, Transform}.
+    program.add_rule(Atom("desc", (e,)),
+                     Atom("seed", (n,)), Atom("out", (n, a)),
+                     Atom("inp", (a, e)),
+                     Atom("stop", (e,), negated=True))
+    program.add_rule(Atom("desc", (e,)),
+                     Atom("desc", (e2,)), Atom("out", (e2, a)),
+                     Atom("inp", (a, e)),
+                     Atom("stop", (e,), negated=True))
+    program.add_rule(Atom("g", (e,)), Atom("seed", (e,)))
+    program.add_rule(Atom("g", (e,)), Atom("anc", (e,)))
+    program.add_rule(Atom("g", (e,)), Atom("desc", (e,)))
+    return program
+
+
+def datalog_graphlet_executions(store: MetadataStore,
+                                pipeline_context_id: int,
+                                trainer_id: int) -> set[int]:
+    """Execution ids of the trainer's graphlet, per the Datalog query.
+
+    Rules (a) and (c) only — rule (b)'s data-analysis augmentation is a
+    post-processing step in both implementations.
+    """
+    program = build_program(store, pipeline_context_id, trainer_id)
+    relations = evaluate(program)
+    return {row[0] for row in relations.get("g", set())}

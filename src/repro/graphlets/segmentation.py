@@ -1,0 +1,154 @@
+"""Graphlet segmentation of pipeline traces (Section 4.1, Appendix A).
+
+Given a Trainer execution ``n``, its graphlet comprises:
+
+  (a) all ancestor executions of ``n`` (and their input/output artifacts),
+      where ancestor traversal *cuts* at other Trainer executions — a
+      warm-start or model-chaining edge is a boundary between graphlets
+      (the paper's Figure 8 cut);
+  (b) all data-analysis/-validation executions performed on data spans
+      (or artifacts) already collected by rule (a), plus their
+      input/output artifacts — these validators gate training without
+      being data ancestors of the Trainer;
+  (c) all descendant executions of ``n`` that are not on paths to other
+      Trainer executions — implemented per Appendix A with the stop
+      predicate ``sc`` = {Trainer, Transform} executions.
+
+The imperative implementation here is the production path;
+:mod:`repro.graphlets.datalog_rules` runs the same queries on the
+Datalog engine and the test-suite checks equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..mlmd import MetadataStore
+from .graphlet import DATA_ANALYSIS_TYPES, STOP_TYPES, Graphlet
+
+
+def _ancestor_executions(store: MetadataStore, trainer_id: int) -> set[int]:
+    """Rule (a) executions: ancestors, cutting at other Trainers."""
+    seen: set[int] = set()
+    frontier = deque([trainer_id])
+    while frontier:
+        current = frontier.popleft()
+        for artifact_id in store.get_input_artifact_ids(current):
+            for producer in store.get_producer_execution_ids(artifact_id):
+                if producer in seen or producer == trainer_id:
+                    continue
+                if store.get_execution(producer).type_name == "Trainer":
+                    continue  # Warm-start / chaining cut.
+                seen.add(producer)
+                frontier.append(producer)
+    return seen
+
+
+def _descendant_executions(store: MetadataStore, trainer_id: int
+                           ) -> set[int]:
+    """Rule (c) executions: descendants, stopping at sc nodes."""
+    seen: set[int] = set()
+    frontier = deque([trainer_id])
+    while frontier:
+        current = frontier.popleft()
+        for artifact_id in store.get_output_artifact_ids(current):
+            for consumer in store.get_consumer_execution_ids(artifact_id):
+                if consumer in seen or consumer == trainer_id:
+                    continue
+                if store.get_execution(consumer).type_name in STOP_TYPES:
+                    continue
+                seen.add(consumer)
+                frontier.append(consumer)
+    return seen
+
+
+def _io_artifacts(store: MetadataStore, execution_ids: set[int],
+                  exclude_foreign_models: bool) -> set[int]:
+    """Input/output artifacts of the executions.
+
+    When ``exclude_foreign_models`` is set, Model artifacts produced by
+    executions outside the set are dropped — they are the cut warm-start
+    inputs belonging to the neighboring graphlet.
+    """
+    artifact_ids: set[int] = set()
+    for execution_id in execution_ids:
+        artifact_ids.update(store.get_input_artifact_ids(execution_id))
+        artifact_ids.update(store.get_output_artifact_ids(execution_id))
+    if not exclude_foreign_models:
+        return artifact_ids
+    kept: set[int] = set()
+    for artifact_id in artifact_ids:
+        artifact = store.get_artifact(artifact_id)
+        if artifact.type_name in ("Model", "PushedModel"):
+            producers = set(store.get_producer_execution_ids(artifact_id))
+            if producers and not (producers & execution_ids):
+                continue
+        kept.add(artifact_id)
+    return kept
+
+
+def segment_trainer(store: MetadataStore, trainer_id: int,
+                    pipeline_context_id: int) -> Graphlet:
+    """Extract the graphlet of one Trainer execution."""
+    trainer = store.get_execution(trainer_id)
+    if trainer.type_name != "Trainer":
+        raise ValueError(
+            f"execution {trainer_id} is a {trainer.type_name}, not a Trainer")
+    executions = {trainer_id}
+    executions |= _ancestor_executions(store, trainer_id)
+    executions |= _descendant_executions(store, trainer_id)
+    artifacts = _io_artifacts(store, executions,
+                              exclude_foreign_models=True)
+    # Rule (b): data-analysis/validation executions over collected
+    # artifacts (per-span statistics, schema inference, and validation
+    # runs). Iterated to fixpoint so analysis chains (span → statistics →
+    # schema → validation) are captured whole.
+    changed = True
+    while changed:
+        changed = False
+        artifacts = _io_artifacts(store, executions,
+                                  exclude_foreign_models=True)
+        for artifact_id in artifacts:
+            for consumer in store.get_consumer_execution_ids(artifact_id):
+                if consumer in executions:
+                    continue
+                if store.get_execution(consumer).type_name \
+                        not in DATA_ANALYSIS_TYPES:
+                    continue
+                executions.add(consumer)
+                changed = True
+    artifacts = _io_artifacts(store, executions,
+                              exclude_foreign_models=True)
+    return Graphlet(store=store, pipeline_context_id=pipeline_context_id,
+                    trainer_execution_id=trainer_id,
+                    execution_ids=executions, artifact_ids=artifacts)
+
+
+def segment_pipeline(store: MetadataStore,
+                     pipeline_context_id: int) -> list[Graphlet]:
+    """All graphlets of one pipeline, in chronological trainer order.
+
+    Chronological order is what defines *consecutive graphlets*
+    (Section 4.2) for the similarity and cadence analyses.
+    """
+    trainers = [
+        e for e in store.get_executions_by_context(pipeline_context_id)
+        if e.type_name == "Trainer"
+    ]
+    trainers.sort(key=lambda e: (e.start_time, e.id))
+    return [segment_trainer(store, t.id, pipeline_context_id)
+            for t in trainers]
+
+
+def segment_corpus(store: MetadataStore) -> dict[int, list[Graphlet]]:
+    """Graphlets of every pipeline in the store, keyed by context id."""
+    out: dict[int, list[Graphlet]] = {}
+    for context in store.get_contexts("Pipeline"):
+        out[context.id] = segment_pipeline(store, context.id)
+    return out
+
+
+def consecutive_pairs(graphlets: list[Graphlet]
+                      ) -> list[tuple[Graphlet, Graphlet]]:
+    """Adjacent-in-time graphlet pairs of one pipeline (Section 4.2)."""
+    return list(zip(graphlets, graphlets[1:]))

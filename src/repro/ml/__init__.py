@@ -1,0 +1,58 @@
+"""From-scratch ML library (scikit-learn substitute).
+
+Provides the model families Section 5 experiments with (Random Forest,
+Logistic Regression, GBDT) and the families the corpus's own Trainers
+fit on the real-execution path, plus metrics and model selection.
+"""
+
+from .boosting import GradientBoostingClassifier
+from .forest import RandomForestClassifier
+from .linear import LogisticRegression, RidgeRegression
+from .inspection import permutation_importance, top_features
+from .mlp import MLPClassifier
+from .metrics import (
+    accuracy,
+    auc,
+    balanced_accuracy,
+    confusion_counts,
+    false_positive_rate,
+    log_loss,
+    roc_auc,
+    roc_curve,
+    true_positive_rate,
+)
+from .model_selection import (
+    class_balance,
+    grouped_k_fold,
+    grouped_train_test_split,
+    train_test_split,
+)
+from .preprocessing import OneHotEncoder, StandardScaler
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "OneHotEncoder",
+    "RandomForestClassifier",
+    "RidgeRegression",
+    "StandardScaler",
+    "accuracy",
+    "auc",
+    "balanced_accuracy",
+    "class_balance",
+    "confusion_counts",
+    "false_positive_rate",
+    "grouped_k_fold",
+    "grouped_train_test_split",
+    "log_loss",
+    "permutation_importance",
+    "roc_auc",
+    "roc_curve",
+    "top_features",
+    "train_test_split",
+    "true_positive_rate",
+]

@@ -1,0 +1,176 @@
+"""A small multi-layer perceptron (the corpus's "DNN" model family).
+
+~60% of the paper's pipelines train deep models (Figure 5). On the
+real-execution path our Trainer operator fits this numpy MLP for
+DNN-flavored pipelines: fully-connected ReLU layers trained with
+mini-batch Adam on the logistic (classification) or squared
+(regression) loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class MLPClassifier:
+    """Binary MLP classifier trained with Adam.
+
+    Args:
+        hidden_sizes: Widths of the hidden ReLU layers.
+        learning_rate: Adam step size.
+        n_epochs: Passes over the training data.
+        batch_size: Mini-batch size.
+        l2: L2 weight penalty.
+        random_state: Seed for init and shuffling.
+
+    Example:
+        >>> rng = np.random.default_rng(0)
+        >>> x = rng.normal(size=(400, 2))
+        >>> y = ((x ** 2).sum(axis=1) > 1.2).astype(int)  # non-linear
+        >>> clf = MLPClassifier(hidden_sizes=(16,), n_epochs=60,
+        ...                     random_state=0).fit(x, y)
+        >>> float((clf.predict(x) == y).mean()) > 0.85
+        True
+    """
+
+    def __init__(self, hidden_sizes: tuple[int, ...] = (32, 16),
+                 learning_rate: float = 1e-2, n_epochs: int = 30,
+                 batch_size: int = 64, l2: float = 1e-5,
+                 random_state: int | None = None) -> None:
+        if not hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+        self.weights_: list[np.ndarray] = []
+        self.biases_: list[np.ndarray] = []
+        self.classes_: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+
+    def _init_params(self, n_features: int,
+                     rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden_sizes, 1]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(2.0 / fan_in)
+            self.weights_.append(rng.normal(0.0, limit,
+                                            size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, x: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [x]
+        out = x
+        for w, b in zip(self.weights_[:-1], self.biases_[:-1]):
+            out = _relu(out @ w + b)
+            activations.append(out)
+        logits = (out @ self.weights_[-1] + self.biases_[-1]).ravel()
+        return activations, logits
+
+    def fit(self, features: np.ndarray,
+            target: np.ndarray, warm_start_from: "MLPClassifier | None" = None
+            ) -> "MLPClassifier":
+        """Fit the network; optionally warm-start from another MLP.
+
+        Warm-starting (the paper's Section 4.1 pattern where a previous
+        model seeds the next Trainer execution) copies the donor's
+        parameters when layer shapes match.
+        """
+        x = np.asarray(features, dtype=float)
+        target = np.asarray(target)
+        self.classes_ = np.unique(target)
+        if len(self.classes_) > 2:
+            raise ValueError("only binary classification is supported")
+        y = (target == self.classes_[-1]).astype(float)
+        rng = np.random.default_rng(self.random_state)
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        self._scale = scale
+        x = (x - self._mean) / self._scale
+        self._init_params(x.shape[1], rng)
+        if warm_start_from is not None and warm_start_from.weights_:
+            donor_w = warm_start_from.weights_
+            donor_b = warm_start_from.biases_
+            if all(dw.shape == w.shape
+                   for dw, w in zip(donor_w, self.weights_)):
+                self.weights_ = [dw.copy() for dw in donor_w]
+                self.biases_ = [db.copy() for db in donor_b]
+
+        m_w = [np.zeros_like(w) for w in self.weights_]
+        v_w = [np.zeros_like(w) for w in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        n = len(x)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = x[batch], y[batch]
+                activations, logits = self._forward(xb)
+                probs = _sigmoid(logits)
+                # Backprop of the mean logistic loss.
+                delta = ((probs - yb) / len(batch)).reshape(-1, 1)
+                grads_w = [None] * len(self.weights_)
+                grads_b = [None] * len(self.biases_)
+                for layer in reversed(range(len(self.weights_))):
+                    a_prev = activations[layer]
+                    grads_w[layer] = (a_prev.T @ delta
+                                      + self.l2 * self.weights_[layer])
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ self.weights_[layer].T
+                        delta = delta * (activations[layer] > 0)
+                step += 1
+                for layer in range(len(self.weights_)):
+                    for params, grads, m, v in (
+                            (self.weights_, grads_w, m_w, v_w),
+                            (self.biases_, grads_b, m_b, v_b)):
+                        m[layer] = beta1 * m[layer] \
+                            + (1 - beta1) * grads[layer]
+                        v[layer] = beta2 * v[layer] \
+                            + (1 - beta2) * grads[layer] ** 2
+                        m_hat = m[layer] / (1 - beta1 ** step)
+                        v_hat = v[layer] / (1 - beta2 ** step)
+                        params[layer] = params[layer] - self.learning_rate \
+                            * m_hat / (np.sqrt(v_hat) + eps)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw logits."""
+        if not self.weights_:
+            raise RuntimeError("model is not fitted")
+        x = (np.asarray(features, dtype=float) - self._mean) / self._scale
+        _, logits = self._forward(x)
+        return logits
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """(n, 2) matrix of [P(class0), P(class1)]."""
+        p1 = _sigmoid(self.decision_function(features))
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted labels (original class values)."""
+        p1 = _sigmoid(self.decision_function(features))
+        return np.where(p1 >= 0.5, self.classes_[-1], self.classes_[0])

@@ -1,0 +1,98 @@
+"""Feature preprocessing: one-hot encoding and scaling.
+
+Section 5.2.1 one-hot encodes model type / architecture features; the
+waste-mitigation dataset builder uses :class:`OneHotEncoder` for that,
+and :class:`StandardScaler` is available for the linear baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class OneHotEncoder:
+    """One-hot encoding of categorical columns.
+
+    Categories are learned at fit time, sorted for determinism; unknown
+    categories at transform time map to the all-zeros vector.
+
+    Example:
+        >>> enc = OneHotEncoder().fit([["a"], ["b"]])
+        >>> enc.transform([["b"], ["c"]]).tolist()
+        [[0.0, 1.0], [0.0, 0.0]]
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[list] = []
+
+    def fit(self, rows) -> "OneHotEncoder":
+        """Learn categories per column from an (n, k) nested sequence."""
+        rows = [list(r) for r in rows]
+        if not rows:
+            raise ValueError("cannot fit on empty data")
+        n_cols = len(rows[0])
+        self.categories_ = []
+        for col in range(n_cols):
+            values = sorted({row[col] for row in rows}, key=str)
+            self.categories_.append(values)
+        return self
+
+    def transform(self, rows) -> np.ndarray:
+        """Encode rows to a dense float matrix."""
+        if not self.categories_:
+            raise RuntimeError("encoder is not fitted")
+        rows = [list(r) for r in rows]
+        widths = [len(c) for c in self.categories_]
+        out = np.zeros((len(rows), sum(widths)))
+        offsets = np.cumsum([0] + widths[:-1])
+        lookups = [
+            {value: i for i, value in enumerate(values)}
+            for values in self.categories_
+        ]
+        for r, row in enumerate(rows):
+            for col, value in enumerate(row):
+                index = lookups[col].get(value)
+                if index is not None:
+                    out[r, offsets[col] + index] = 1.0
+        return out
+
+    def fit_transform(self, rows) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(rows).transform(rows)
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Encoded column names, ``col{i}={value}``."""
+        names = []
+        for col, values in enumerate(self.categories_):
+            names.extend(f"col{col}={value}" for value in values)
+        return names
+
+
+class StandardScaler:
+    """Column-wise standardization to zero mean, unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and std."""
+        x = np.asarray(features, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("features must be 2-D")
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(features, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(features).transform(features)

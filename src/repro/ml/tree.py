@@ -1,0 +1,304 @@
+"""CART decision trees (classification and regression).
+
+A from-scratch replacement for the scikit-learn trees the paper uses via
+its Random Forest / GBDT experiments (Section 5.2.2); scikit-learn is not
+available in this environment. Split search is vectorized with numpy:
+per candidate feature, sort the node's rows once and evaluate the
+impurity of every threshold from prefix sums.
+
+Supports ``max_features`` (random feature subsampling per node) so the
+forest in :mod:`repro.ml.forest` is a proper Random Forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: np.ndarray | float = 0.0
+    n_samples: int = 0
+    impurity: float = 0.0
+
+
+def _gini(class_counts: np.ndarray) -> np.ndarray:
+    """Gini impurity for rows of class counts (vectorized)."""
+    totals = class_counts.sum(axis=-1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1)
+    proportions = class_counts / safe
+    return 1.0 - (proportions ** 2).sum(axis=-1)
+
+
+class _BaseTree:
+    """Shared recursive builder; subclasses define leaf values/impurity."""
+
+    def __init__(self, max_depth: int | None = None,
+                 min_samples_split: int = 2,
+                 min_samples_leaf: int = 1,
+                 max_features: int | float | str | None = None,
+                 random_state: int | None = None) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._nodes: list[_Node] = []
+        self._n_features = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    # ---- subclass hooks ------------------------------------------------
+
+    def _node_stats(self, y: np.ndarray):
+        """Return (value, impurity) summarizing the target at a node."""
+        raise NotImplementedError
+
+    def _best_split(self, x_col: np.ndarray, y: np.ndarray,
+                    min_leaf: int) -> tuple[float, float]:
+        """Return (gain, threshold) for the best split on one column."""
+        raise NotImplementedError
+
+    # ---- fitting -------------------------------------------------------
+
+    def fit(self, features: np.ndarray, target: np.ndarray):
+        """Grow the tree on a dense (n, d) feature matrix."""
+        features = np.asarray(features, dtype=float)
+        target = np.asarray(target)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if len(features) != len(target):
+            raise ValueError("features and target length mismatch")
+        if len(features) == 0:
+            raise ValueError("cannot fit on empty data")
+        self._n_features = features.shape[1]
+        self._nodes = []
+        self._rng = np.random.default_rng(self.random_state)
+        importance = np.zeros(self._n_features)
+        self._prepare_target(target)
+        self._grow(features, self._encoded_target, depth=0,
+                   importance=importance)
+        total = importance.sum()
+        self.feature_importances_ = (importance / total if total > 0
+                                     else importance)
+        return self
+
+    def _prepare_target(self, target: np.ndarray) -> None:
+        self._encoded_target = np.asarray(target, dtype=float)
+
+    def _n_candidate_features(self) -> int:
+        spec = self.max_features
+        d = self._n_features
+        if spec is None:
+            return d
+        if spec == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        if spec == "log2":
+            return max(1, int(np.log2(d))) if d > 1 else 1
+        if isinstance(spec, float):
+            return max(1, int(spec * d))
+        return max(1, min(int(spec), d))
+
+    def _grow(self, features: np.ndarray, target: np.ndarray, depth: int,
+              importance: np.ndarray) -> int:
+        value, impurity = self._node_stats(target)
+        node = _Node(value=value, n_samples=len(target), impurity=impurity)
+        index = len(self._nodes)
+        self._nodes.append(node)
+
+        if (impurity <= 1e-12
+                or len(target) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)):
+            return index
+
+        k = self._n_candidate_features()
+        if k < self._n_features:
+            candidates = self._rng.choice(self._n_features, size=k,
+                                          replace=False)
+        else:
+            candidates = np.arange(self._n_features)
+
+        best_gain, best_feature, best_threshold = -1.0, -1, 0.0
+        for feature_idx in candidates:
+            gain, threshold = self._best_split(
+                features[:, feature_idx], target, self.min_samples_leaf)
+            if gain > best_gain + 1e-15:
+                best_gain, best_feature, best_threshold = (
+                    gain, int(feature_idx), threshold)
+        if best_feature < 0 or best_gain < 0:
+            return index
+
+        mask = features[:, best_feature] <= best_threshold
+        if mask.all() or not mask.any():
+            return index
+        node.feature = best_feature
+        node.threshold = best_threshold
+        importance[best_feature] += best_gain * len(target)
+        node.left = self._grow(features[mask], target[mask], depth + 1,
+                               importance)
+        node.right = self._grow(features[~mask], target[~mask], depth + 1,
+                                importance)
+        return index
+
+    # ---- inference -----------------------------------------------------
+
+    def _leaf_values(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected (n, {self._n_features}) features")
+        out = [None] * len(features)
+        # Iterative routing, one node at a time, vectorized by partition.
+        stack = [(0, np.arange(len(features)))]
+        while stack:
+            node_index, rows = stack.pop()
+            node = self._nodes[node_index]
+            if node.feature < 0:
+                for r in rows:
+                    out[r] = node.value
+                continue
+            mask = features[rows, node.feature] <= node.threshold
+            left_rows = rows[mask]
+            right_rows = rows[~mask]
+            if left_rows.size:
+                stack.append((node.left, left_rows))
+            if right_rows.size:
+                stack.append((node.right, right_rows))
+        return np.asarray(out)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the grown tree."""
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the grown tree."""
+        def _depth(index: int) -> int:
+            node = self._nodes[index]
+            if node.feature < 0:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+        return _depth(0) if self._nodes else 0
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classifier with Gini impurity.
+
+    Example:
+        >>> x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        >>> y = np.array([0, 0, 1, 1])
+        >>> DecisionTreeClassifier().fit(x, y).predict(x).tolist()
+        [0, 0, 1, 1]
+    """
+
+    def _prepare_target(self, target: np.ndarray) -> None:
+        self.classes_, encoded = np.unique(target, return_inverse=True)
+        self._encoded_target = encoded
+
+    def _node_stats(self, y: np.ndarray):
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(float)
+        total = counts.sum()
+        value = counts / total if total else counts
+        return value, float(_gini(counts))
+
+    def _best_split(self, x_col: np.ndarray, y: np.ndarray,
+                    min_leaf: int) -> tuple[float, float]:
+        order = np.argsort(x_col, kind="stable")
+        xs = x_col[order]
+        ys = y[order]
+        n = len(ys)
+        n_classes = len(self.classes_)
+        one_hot = np.zeros((n, n_classes))
+        one_hot[np.arange(n), ys] = 1.0
+        prefix = np.cumsum(one_hot, axis=0)
+        total = prefix[-1]
+        # Valid split positions: after index i (left = [0..i]), where the
+        # value changes and both sides satisfy min_samples_leaf.
+        positions = np.arange(min_leaf - 1, n - min_leaf)
+        if positions.size == 0:
+            return -1.0, 0.0
+        valid = xs[positions] < xs[positions + 1]
+        positions = positions[valid]
+        if positions.size == 0:
+            return -1.0, 0.0
+        left_counts = prefix[positions]
+        right_counts = total - left_counts
+        left_sizes = positions + 1
+        right_sizes = n - left_sizes
+        parent_impurity = float(_gini(total))
+        child = (left_sizes * _gini(left_counts)
+                 + right_sizes * _gini(right_counts)) / n
+        gains = parent_impurity - child
+        best = int(np.argmax(gains))
+        if gains[best] < 0:
+            return -1.0, 0.0
+        # Zero-gain splits are allowed (ties still shrink the node), so
+        # parity-style targets like XOR remain learnable.
+        pos = positions[best]
+        threshold = (xs[pos] + xs[pos + 1]) / 2.0
+        return float(max(gains[best], 0.0)), float(threshold)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-probability estimates (leaf class frequencies)."""
+        return np.vstack(self._leaf_values(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        probabilities = self.predict_proba(features)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with variance reduction."""
+
+    def _node_stats(self, y: np.ndarray):
+        return float(y.mean()), float(y.var())
+
+    def _best_split(self, x_col: np.ndarray, y: np.ndarray,
+                    min_leaf: int) -> tuple[float, float]:
+        order = np.argsort(x_col, kind="stable")
+        xs = x_col[order]
+        ys = y[order]
+        n = len(ys)
+        prefix_sum = np.cumsum(ys)
+        prefix_sq = np.cumsum(ys ** 2)
+        positions = np.arange(min_leaf - 1, n - min_leaf)
+        if positions.size == 0:
+            return -1.0, 0.0
+        valid = xs[positions] < xs[positions + 1]
+        positions = positions[valid]
+        if positions.size == 0:
+            return -1.0, 0.0
+        left_n = positions + 1
+        right_n = n - left_n
+        left_sum = prefix_sum[positions]
+        right_sum = prefix_sum[-1] - left_sum
+        left_sq = prefix_sq[positions]
+        right_sq = prefix_sq[-1] - left_sq
+        left_var = left_sq / left_n - (left_sum / left_n) ** 2
+        right_var = right_sq / right_n - (right_sum / right_n) ** 2
+        parent_var = float(ys.var())
+        child = (left_n * left_var + right_n * right_var) / n
+        gains = parent_var - child
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-15:
+            return -1.0, 0.0
+        pos = positions[best]
+        threshold = (xs[pos] + xs[pos + 1]) / 2.0
+        return float(gains[best]), float(threshold)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted regression values."""
+        return self._leaf_values(features).astype(float)

@@ -1,0 +1,83 @@
+"""ML-Metadata-compatible provenance store (substrate).
+
+The paper's corpus is recorded with ML Metadata (MLMD); this subpackage is
+a from-scratch reimplementation of the parts of MLMD the paper relies on:
+artifact/execution/context nodes, input/output events, lineage traversal,
+and durable storage.
+"""
+
+from .errors import (
+    AlreadyExistsError,
+    InvalidArgumentError,
+    MetadataError,
+    NotFoundError,
+    TypeMismatchError,
+)
+from .lineage import (
+    artifacts_of_executions,
+    connected_execution_components,
+    downstream_executions,
+    trace_lifespan_days,
+    trace_node_count,
+    upstream_executions,
+)
+from .sqlite_store import load_store, save_store
+from .summarize import (
+    TraceNode,
+    TypeSummary,
+    artifact_node,
+    execution_node,
+    impact_set,
+    provenance_path,
+    reachable,
+    summarize_by_type,
+)
+from .store import MetadataStore, bulk_load
+from .types import (
+    Artifact,
+    ArtifactState,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    ExecutionState,
+    Properties,
+    PropertyValue,
+    validate_properties,
+)
+
+__all__ = [
+    "AlreadyExistsError",
+    "Artifact",
+    "ArtifactState",
+    "Context",
+    "Event",
+    "EventType",
+    "Execution",
+    "ExecutionState",
+    "InvalidArgumentError",
+    "MetadataError",
+    "MetadataStore",
+    "NotFoundError",
+    "Properties",
+    "TraceNode",
+    "TypeSummary",
+    "PropertyValue",
+    "TypeMismatchError",
+    "artifact_node",
+    "artifacts_of_executions",
+    "bulk_load",
+    "connected_execution_components",
+    "downstream_executions",
+    "execution_node",
+    "impact_set",
+    "load_store",
+    "provenance_path",
+    "reachable",
+    "save_store",
+    "summarize_by_type",
+    "trace_lifespan_days",
+    "trace_node_count",
+    "upstream_executions",
+    "validate_properties",
+]

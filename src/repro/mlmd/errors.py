@@ -1,0 +1,27 @@
+"""Exception hierarchy for the metadata store.
+
+Mirrors the error taxonomy of ML Metadata (MLMD): callers can catch the
+broad :class:`MetadataError` or a precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class MetadataError(Exception):
+    """Base class for all metadata-store errors."""
+
+
+class NotFoundError(MetadataError):
+    """Raised when a node, type, or context does not exist."""
+
+
+class AlreadyExistsError(MetadataError):
+    """Raised when registering a type or named node that already exists."""
+
+
+class InvalidArgumentError(MetadataError):
+    """Raised when a request is structurally invalid (bad ids, bad state)."""
+
+
+class TypeMismatchError(MetadataError):
+    """Raised when a node's properties do not match its registered type."""

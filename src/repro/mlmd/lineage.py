@@ -1,0 +1,145 @@
+"""Lineage traversal over a metadata store.
+
+These queries are the building blocks of the paper's trace analysis: the
+graphlet segmentation (Section 4.1) is defined in terms of ancestor and
+descendant executions of a Trainer execution, and the pipeline-level
+analysis (Section 3) needs connected components and node counts.
+
+The trace is a bipartite DAG: artifact and execution nodes, with events as
+edges. We expose traversals in terms of *execution* frontiers (as the
+paper's rules do) while carrying the artifacts along.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from .store import MetadataStore
+
+
+def upstream_executions(
+    store: MetadataStore,
+    execution_id: int,
+    stop: Callable[[int], bool] | None = None,
+) -> set[int]:
+    """All ancestor execution ids of ``execution_id`` (exclusive).
+
+    An execution ``p`` is an ancestor of ``n`` if an output artifact of
+    ``p`` is an input (possibly transitively) of ``n``. ``stop(eid)`` may
+    prune traversal *through* an execution: the execution itself is still
+    reported, but its ancestors are not explored.
+    """
+    seen: set[int] = set()
+    frontier = deque([execution_id])
+    while frontier:
+        current = frontier.popleft()
+        for artifact_id in store.get_input_artifact_ids(current):
+            for producer in store.get_producer_execution_ids(artifact_id):
+                if producer in seen or producer == execution_id:
+                    continue
+                seen.add(producer)
+                if stop is not None and stop(producer):
+                    continue
+                frontier.append(producer)
+    return seen
+
+
+def downstream_executions(
+    store: MetadataStore,
+    execution_id: int,
+    stop: Callable[[int], bool] | None = None,
+) -> set[int]:
+    """All descendant execution ids of ``execution_id`` (exclusive).
+
+    Mirror image of :func:`upstream_executions`. ``stop`` prunes traversal
+    through (but not reporting of) an execution.
+    """
+    seen: set[int] = set()
+    frontier = deque([execution_id])
+    while frontier:
+        current = frontier.popleft()
+        for artifact_id in store.get_output_artifact_ids(current):
+            for consumer in store.get_consumer_execution_ids(artifact_id):
+                if consumer in seen or consumer == execution_id:
+                    continue
+                seen.add(consumer)
+                if stop is not None and stop(consumer):
+                    continue
+                frontier.append(consumer)
+    return seen
+
+
+def artifacts_of_executions(store: MetadataStore,
+                            execution_ids: Iterable[int]) -> set[int]:
+    """Union of input and output artifact ids across the executions."""
+    artifact_ids: set[int] = set()
+    for execution_id in execution_ids:
+        artifact_ids.update(store.get_input_artifact_ids(execution_id))
+        artifact_ids.update(store.get_output_artifact_ids(execution_id))
+    return artifact_ids
+
+
+def connected_execution_components(store: MetadataStore) -> list[set[int]]:
+    """Partition all executions into weakly connected components.
+
+    Two executions are connected if they share an artifact (directly or
+    transitively). Used to check the paper's observation that long-running
+    continuous pipelines often collapse into one giant component.
+    """
+    unvisited = {e.id for e in store.get_executions()}
+    components: list[set[int]] = []
+    while unvisited:
+        root = next(iter(unvisited))
+        component = {root}
+        frontier = deque([root])
+        while frontier:
+            current = frontier.popleft()
+            neighbor_ids: set[int] = set()
+            for artifact_id in store.get_input_artifact_ids(current):
+                neighbor_ids.update(
+                    store.get_producer_execution_ids(artifact_id))
+                neighbor_ids.update(
+                    store.get_consumer_execution_ids(artifact_id))
+            for artifact_id in store.get_output_artifact_ids(current):
+                neighbor_ids.update(
+                    store.get_consumer_execution_ids(artifact_id))
+                neighbor_ids.update(
+                    store.get_producer_execution_ids(artifact_id))
+            for neighbor in neighbor_ids:
+                if neighbor in unvisited and neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        unvisited -= component
+        components.append(component)
+    return components
+
+
+def trace_node_count(store: MetadataStore, context_id: int) -> int:
+    """Total artifact + execution nodes attributed to a context.
+
+    This is the per-pipeline "trace size" statistic reported in
+    Sections 2.2 and 3.1 (max 6953 nodes in the paper's corpus).
+    """
+    artifacts = store.get_artifacts_by_context(context_id)
+    executions = store.get_executions_by_context(context_id)
+    return len(artifacts) + len(executions)
+
+
+def trace_lifespan_days(store: MetadataStore, context_id: int) -> float:
+    """Lifespan of a pipeline trace in days (Section 3.1 definition).
+
+    The count of days between the timestamps of the newest and oldest
+    nodes in the trace. Artifact timestamps are creation times; execution
+    timestamps are start/end times.
+    """
+    times: list[float] = []
+    for artifact in store.get_artifacts_by_context(context_id):
+        times.append(artifact.create_time)
+    for execution in store.get_executions_by_context(context_id):
+        times.append(execution.start_time)
+        if execution.end_time:
+            times.append(execution.end_time)
+    if not times:
+        return 0.0
+    return (max(times) - min(times)) / 24.0

@@ -1,0 +1,174 @@
+"""SQLite persistence for metadata traces.
+
+The in-memory :class:`~repro.mlmd.store.MetadataStore` is the hot path;
+this module adds durable round-tripping so corpora can be generated once
+and re-analyzed later (the paper's corpus is a durable MLMD database).
+
+Property values are stored as JSON; enum states as their string values.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from .store import MetadataStore
+from .types import (
+    Artifact,
+    ArtifactState,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    ExecutionState,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    id INTEGER PRIMARY KEY,
+    type_name TEXT NOT NULL,
+    name TEXT NOT NULL,
+    uri TEXT NOT NULL,
+    state TEXT NOT NULL,
+    create_time REAL NOT NULL,
+    properties TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS executions (
+    id INTEGER PRIMARY KEY,
+    type_name TEXT NOT NULL,
+    name TEXT NOT NULL,
+    state TEXT NOT NULL,
+    start_time REAL NOT NULL,
+    end_time REAL NOT NULL,
+    properties TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS contexts (
+    id INTEGER PRIMARY KEY,
+    type_name TEXT NOT NULL,
+    name TEXT NOT NULL,
+    create_time REAL NOT NULL,
+    properties TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    artifact_id INTEGER NOT NULL,
+    execution_id INTEGER NOT NULL,
+    type TEXT NOT NULL,
+    time REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS attributions (
+    context_id INTEGER NOT NULL,
+    artifact_id INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS associations (
+    context_id INTEGER NOT NULL,
+    execution_id INTEGER NOT NULL
+);
+"""
+
+
+def save_store(store: MetadataStore, path: str | Path) -> None:
+    """Serialize an in-memory store to a SQLite database file.
+
+    Overwrites any prior contents at ``path``.
+    """
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    conn = sqlite3.connect(path)
+    try:
+        conn.executescript(_SCHEMA)
+        conn.executemany(
+            "INSERT INTO artifacts VALUES (?,?,?,?,?,?,?)",
+            [
+                (a.id, a.type_name, a.name, a.uri, a.state.value,
+                 a.create_time, json.dumps(a.properties))
+                for a in store.get_artifacts()
+            ],
+        )
+        conn.executemany(
+            "INSERT INTO executions VALUES (?,?,?,?,?,?,?)",
+            [
+                (e.id, e.type_name, e.name, e.state.value, e.start_time,
+                 e.end_time, json.dumps(e.properties))
+                for e in store.get_executions()
+            ],
+        )
+        conn.executemany(
+            "INSERT INTO contexts VALUES (?,?,?,?,?)",
+            [
+                (c.id, c.type_name, c.name, c.create_time,
+                 json.dumps(c.properties))
+                for c in store.get_contexts()
+            ],
+        )
+        conn.executemany(
+            "INSERT INTO events VALUES (?,?,?,?)",
+            [
+                (ev.artifact_id, ev.execution_id, ev.type.value, ev.time)
+                for ev in store.get_events()
+            ],
+        )
+        attribution_rows = []
+        association_rows = []
+        for context in store.get_contexts():
+            for artifact in store.get_artifacts_by_context(context.id):
+                attribution_rows.append((context.id, artifact.id))
+            for execution in store.get_executions_by_context(context.id):
+                association_rows.append((context.id, execution.id))
+        conn.executemany("INSERT INTO attributions VALUES (?,?)",
+                         attribution_rows)
+        conn.executemany("INSERT INTO associations VALUES (?,?)",
+                         association_rows)
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def load_store(path: str | Path) -> MetadataStore:
+    """Deserialize a SQLite database file into an in-memory store.
+
+    Node ids are preserved exactly, so events and context memberships
+    round-trip without remapping.
+    """
+    conn = sqlite3.connect(Path(path))
+    store = MetadataStore()
+    try:
+        id_map_a: dict[int, int] = {}
+        for row in conn.execute(
+                "SELECT id, type_name, name, uri, state, create_time,"
+                " properties FROM artifacts ORDER BY id"):
+            artifact = Artifact(
+                type_name=row[1], name=row[2], uri=row[3],
+                state=ArtifactState(row[4]), create_time=row[5],
+                properties=json.loads(row[6]))
+            id_map_a[row[0]] = store.put_artifact(artifact)
+        id_map_e: dict[int, int] = {}
+        for row in conn.execute(
+                "SELECT id, type_name, name, state, start_time, end_time,"
+                " properties FROM executions ORDER BY id"):
+            execution = Execution(
+                type_name=row[1], name=row[2], state=ExecutionState(row[3]),
+                start_time=row[4], end_time=row[5],
+                properties=json.loads(row[6]))
+            id_map_e[row[0]] = store.put_execution(execution)
+        id_map_c: dict[int, int] = {}
+        for row in conn.execute(
+                "SELECT id, type_name, name, create_time, properties"
+                " FROM contexts ORDER BY id"):
+            context = Context(type_name=row[1], name=row[2],
+                              create_time=row[3], properties=json.loads(row[4]))
+            id_map_c[row[0]] = store.put_context(context)
+        for row in conn.execute(
+                "SELECT artifact_id, execution_id, type, time FROM events"):
+            store.put_event(Event(id_map_a[row[0]], id_map_e[row[1]],
+                                  EventType(row[2]), row[3]))
+        for row in conn.execute(
+                "SELECT context_id, artifact_id FROM attributions"):
+            store.put_attribution(id_map_c[row[0]], id_map_a[row[1]])
+        for row in conn.execute(
+                "SELECT context_id, execution_id FROM associations"):
+            store.put_association(id_map_c[row[0]], id_map_e[row[1]])
+    finally:
+        conn.close()
+    return store

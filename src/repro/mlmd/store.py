@@ -1,0 +1,293 @@
+"""In-memory metadata store.
+
+This is the hot-path backend: the corpus generator writes millions of nodes
+through this API, and every analysis module reads through it. The store
+keeps adjacency indexes (artifact → consuming/producing executions and
+vice versa) so lineage traversals are O(degree), which is what makes
+graphlet segmentation over large traces feasible.
+
+The public surface intentionally mirrors ML Metadata's
+``metadata_store.MetadataStore``: ``put_*`` / ``get_*`` methods over
+artifacts, executions, events, and contexts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from .errors import AlreadyExistsError, InvalidArgumentError, NotFoundError
+from .types import (
+    Artifact,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    validate_properties,
+)
+
+
+class MetadataStore:
+    """An in-memory MLMD-compatible metadata store.
+
+    Example:
+        >>> store = MetadataStore()
+        >>> span = Artifact(type_name="DataSpan", name="span-1")
+        >>> span_id = store.put_artifact(span)
+        >>> run = Execution(type_name="Trainer")
+        >>> run_id = store.put_execution(run)
+        >>> store.put_event(Event(span_id, run_id, EventType.INPUT))
+        >>> [a.name for a in store.get_input_artifacts(run_id)]
+        ['span-1']
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: dict[int, Artifact] = {}
+        self._executions: dict[int, Execution] = {}
+        self._contexts: dict[int, Context] = {}
+        self._events: list[Event] = []
+        self._next_artifact_id = 1
+        self._next_execution_id = 1
+        self._next_context_id = 1
+        # Adjacency indexes over events.
+        self._inputs_of: dict[int, list[int]] = defaultdict(list)
+        self._outputs_of: dict[int, list[int]] = defaultdict(list)
+        self._consumers_of: dict[int, list[int]] = defaultdict(list)
+        self._producers_of: dict[int, list[int]] = defaultdict(list)
+        # Context membership.
+        self._context_artifacts: dict[int, list[int]] = defaultdict(list)
+        self._context_executions: dict[int, list[int]] = defaultdict(list)
+        self._artifact_contexts: dict[int, list[int]] = defaultdict(list)
+        self._execution_contexts: dict[int, list[int]] = defaultdict(list)
+        # Name uniqueness per (kind, type_name, name).
+        self._named_nodes: dict[tuple[str, str, str], int] = {}
+
+    # ------------------------------------------------------------------ put
+
+    def put_artifact(self, artifact: Artifact) -> int:
+        """Insert or update an artifact; returns its id."""
+        validate_properties(artifact.properties)
+        if artifact.id == -1:
+            artifact.id = self._next_artifact_id
+            self._next_artifact_id += 1
+            self._register_name("artifact", artifact.type_name, artifact.name,
+                                artifact.id)
+        elif artifact.id not in self._artifacts:
+            raise NotFoundError(f"artifact id {artifact.id} not found")
+        self._artifacts[artifact.id] = artifact
+        return artifact.id
+
+    def put_execution(self, execution: Execution) -> int:
+        """Insert or update an execution; returns its id."""
+        validate_properties(execution.properties)
+        if execution.id == -1:
+            execution.id = self._next_execution_id
+            self._next_execution_id += 1
+            self._register_name("execution", execution.type_name,
+                                execution.name, execution.id)
+        elif execution.id not in self._executions:
+            raise NotFoundError(f"execution id {execution.id} not found")
+        self._executions[execution.id] = execution
+        return execution.id
+
+    def put_context(self, context: Context) -> int:
+        """Insert or update a context; returns its id."""
+        validate_properties(context.properties)
+        if context.id == -1:
+            context.id = self._next_context_id
+            self._next_context_id += 1
+            self._register_name("context", context.type_name, context.name,
+                                context.id)
+        elif context.id not in self._contexts:
+            raise NotFoundError(f"context id {context.id} not found")
+        self._contexts[context.id] = context
+        return context.id
+
+    def put_event(self, event: Event) -> None:
+        """Record an input/output edge between existing nodes."""
+        if event.artifact_id not in self._artifacts:
+            raise NotFoundError(f"artifact id {event.artifact_id} not found")
+        if event.execution_id not in self._executions:
+            raise NotFoundError(f"execution id {event.execution_id} not found")
+        self._events.append(event)
+        if event.type is EventType.INPUT:
+            self._inputs_of[event.execution_id].append(event.artifact_id)
+            self._consumers_of[event.artifact_id].append(event.execution_id)
+        else:
+            self._outputs_of[event.execution_id].append(event.artifact_id)
+            self._producers_of[event.artifact_id].append(event.execution_id)
+
+    def put_events(self, events: Iterable[Event]) -> None:
+        """Record a batch of events."""
+        for event in events:
+            self.put_event(event)
+
+    def put_attribution(self, context_id: int, artifact_id: int) -> None:
+        """Associate an artifact with a context."""
+        self._require_context(context_id)
+        if artifact_id not in self._artifacts:
+            raise NotFoundError(f"artifact id {artifact_id} not found")
+        self._context_artifacts[context_id].append(artifact_id)
+        self._artifact_contexts[artifact_id].append(context_id)
+
+    def put_association(self, context_id: int, execution_id: int) -> None:
+        """Associate an execution with a context."""
+        self._require_context(context_id)
+        if execution_id not in self._executions:
+            raise NotFoundError(f"execution id {execution_id} not found")
+        self._context_executions[context_id].append(execution_id)
+        self._execution_contexts[execution_id].append(context_id)
+
+    # ------------------------------------------------------------------ get
+
+    def get_artifact(self, artifact_id: int) -> Artifact:
+        """Return the artifact with the given id."""
+        try:
+            return self._artifacts[artifact_id]
+        except KeyError:
+            raise NotFoundError(f"artifact id {artifact_id} not found") from None
+
+    def get_execution(self, execution_id: int) -> Execution:
+        """Return the execution with the given id."""
+        try:
+            return self._executions[execution_id]
+        except KeyError:
+            raise NotFoundError(
+                f"execution id {execution_id} not found") from None
+
+    def get_context(self, context_id: int) -> Context:
+        """Return the context with the given id."""
+        return self._require_context(context_id)
+
+    def get_artifacts(self, type_name: str | None = None) -> list[Artifact]:
+        """Return all artifacts, optionally filtered by type."""
+        if type_name is None:
+            return list(self._artifacts.values())
+        return [a for a in self._artifacts.values() if a.type_name == type_name]
+
+    def get_executions(self, type_name: str | None = None) -> list[Execution]:
+        """Return all executions, optionally filtered by type."""
+        if type_name is None:
+            return list(self._executions.values())
+        return [e for e in self._executions.values()
+                if e.type_name == type_name]
+
+    def get_contexts(self, type_name: str | None = None) -> list[Context]:
+        """Return all contexts, optionally filtered by type."""
+        if type_name is None:
+            return list(self._contexts.values())
+        return [c for c in self._contexts.values() if c.type_name == type_name]
+
+    def get_artifact_by_name(self, type_name: str, name: str) -> Artifact:
+        """Look up an artifact by its unique (type, name) pair."""
+        key = ("artifact", type_name, name)
+        if key not in self._named_nodes:
+            raise NotFoundError(f"artifact {type_name}/{name} not found")
+        return self._artifacts[self._named_nodes[key]]
+
+    def get_events(self) -> list[Event]:
+        """Return all events (the raw trace edges)."""
+        return list(self._events)
+
+    # --------------------------------------------------------- adjacency
+
+    def get_input_artifact_ids(self, execution_id: int) -> list[int]:
+        """Artifact ids consumed by an execution (event order preserved)."""
+        return list(self._inputs_of.get(execution_id, ()))
+
+    def get_output_artifact_ids(self, execution_id: int) -> list[int]:
+        """Artifact ids produced by an execution."""
+        return list(self._outputs_of.get(execution_id, ()))
+
+    def get_input_artifacts(self, execution_id: int) -> list[Artifact]:
+        """Artifacts consumed by an execution."""
+        return [self._artifacts[i]
+                for i in self._inputs_of.get(execution_id, ())]
+
+    def get_output_artifacts(self, execution_id: int) -> list[Artifact]:
+        """Artifacts produced by an execution."""
+        return [self._artifacts[i]
+                for i in self._outputs_of.get(execution_id, ())]
+
+    def get_consumer_execution_ids(self, artifact_id: int) -> list[int]:
+        """Execution ids that consume an artifact."""
+        return list(self._consumers_of.get(artifact_id, ()))
+
+    def get_producer_execution_ids(self, artifact_id: int) -> list[int]:
+        """Execution ids that produced an artifact."""
+        return list(self._producers_of.get(artifact_id, ()))
+
+    # ----------------------------------------------------------- contexts
+
+    def get_artifacts_by_context(self, context_id: int) -> list[Artifact]:
+        """All artifacts attributed to a context."""
+        self._require_context(context_id)
+        return [self._artifacts[i] for i in self._context_artifacts[context_id]]
+
+    def get_executions_by_context(self, context_id: int) -> list[Execution]:
+        """All executions associated with a context."""
+        self._require_context(context_id)
+        return [self._executions[i]
+                for i in self._context_executions[context_id]]
+
+    def get_contexts_by_execution(self, execution_id: int) -> list[Context]:
+        """Contexts an execution belongs to."""
+        return [self._contexts[i]
+                for i in self._execution_contexts.get(execution_id, ())]
+
+    def get_contexts_by_artifact(self, artifact_id: int) -> list[Context]:
+        """Contexts an artifact belongs to."""
+        return [self._contexts[i]
+                for i in self._artifact_contexts.get(artifact_id, ())]
+
+    # ------------------------------------------------------------- counts
+
+    @property
+    def num_artifacts(self) -> int:
+        """Total artifacts in the store."""
+        return len(self._artifacts)
+
+    @property
+    def num_executions(self) -> int:
+        """Total executions in the store."""
+        return len(self._executions)
+
+    @property
+    def num_events(self) -> int:
+        """Total events (trace edges) in the store."""
+        return len(self._events)
+
+    # ------------------------------------------------------------ helpers
+
+    def _register_name(self, kind: str, type_name: str, name: str,
+                       node_id: int) -> None:
+        if not name:
+            return
+        key = (kind, type_name, name)
+        if key in self._named_nodes:
+            raise AlreadyExistsError(f"{kind} {type_name}/{name} exists")
+        self._named_nodes[key] = node_id
+
+    def _require_context(self, context_id: int) -> Context:
+        try:
+            return self._contexts[context_id]
+        except KeyError:
+            raise NotFoundError(f"context id {context_id} not found") from None
+
+
+def bulk_load(store: MetadataStore, artifacts: Sequence[Artifact],
+              executions: Sequence[Execution],
+              events: Sequence[Event]) -> None:
+    """Load a pre-built trace into a store in one call.
+
+    Convenience for tests and for replaying serialized traces; ids in the
+    events must refer to ids assigned by the puts, so artifacts and
+    executions are inserted first, in order.
+    """
+    if not artifacts and not executions and events:
+        raise InvalidArgumentError("events supplied without nodes")
+    for artifact in artifacts:
+        store.put_artifact(artifact)
+    for execution in executions:
+        store.put_execution(execution)
+    store.put_events(events)

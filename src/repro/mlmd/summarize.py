@@ -1,0 +1,173 @@
+"""Trace querying and summarization.
+
+Section 3.1: "Tools to efficiently query or summarize these complex
+traces can become indispensable for humans to debug or manage these
+pipelines." This module provides the two standard techniques the paper's
+related work cites:
+
+* **Aggregation by provenance type** (Moreau, GaM 2015): collapse the
+  trace to one node per (node kind, type) with edge multiplicities — a
+  bounded-size summary regardless of trace size.
+* **Reachability queries** (Bao et al., SIGMOD 2010 motivation): does
+  artifact/execution X transitively feed Y? Plus shortest provenance
+  paths for debugging ("how did this pushed model depend on that span?").
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from .store import MetadataStore
+
+
+@dataclass
+class TypeSummary:
+    """Type-level aggregation of a trace (bounded-size summary graph).
+
+    Attributes:
+        artifact_counts: Artifact type → node count.
+        execution_counts: Execution type → node count.
+        edge_counts: (source type, target type) → edge multiplicity,
+            where execution→artifact edges are outputs and
+            artifact→execution edges are inputs.
+    """
+
+    artifact_counts: dict[str, int] = field(default_factory=dict)
+    execution_counts: dict[str, int] = field(default_factory=dict)
+    edge_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def node_count(self) -> int:
+        """Total summary nodes (== number of distinct types)."""
+        return len(self.artifact_counts) + len(self.execution_counts)
+
+    def render(self) -> str:
+        """Human-readable summary listing."""
+        lines = ["artifacts:"]
+        for name, count in sorted(self.artifact_counts.items()):
+            lines.append(f"  {name} x{count}")
+        lines.append("executions:")
+        for name, count in sorted(self.execution_counts.items()):
+            lines.append(f"  {name} x{count}")
+        lines.append("edges:")
+        for (src, dst), count in sorted(self.edge_counts.items()):
+            lines.append(f"  {src} -> {dst} x{count}")
+        return "\n".join(lines)
+
+
+def summarize_by_type(store: MetadataStore,
+                      context_id: int | None = None) -> TypeSummary:
+    """Aggregate a trace (or one pipeline's trace) by node type."""
+    if context_id is None:
+        artifacts = store.get_artifacts()
+        executions = store.get_executions()
+    else:
+        artifacts = store.get_artifacts_by_context(context_id)
+        executions = store.get_executions_by_context(context_id)
+    artifact_types = {a.id: a.type_name for a in artifacts}
+    execution_types = {e.id: e.type_name for e in executions}
+
+    summary = TypeSummary(
+        artifact_counts=dict(Counter(artifact_types.values())),
+        execution_counts=dict(Counter(execution_types.values())))
+    edges: Counter = Counter()
+    for execution in executions:
+        execution_type = execution_types[execution.id]
+        for artifact_id in store.get_input_artifact_ids(execution.id):
+            artifact_type = artifact_types.get(artifact_id)
+            if artifact_type is not None:
+                edges[(artifact_type, execution_type)] += 1
+        for artifact_id in store.get_output_artifact_ids(execution.id):
+            artifact_type = artifact_types.get(artifact_id)
+            if artifact_type is not None:
+                edges[(execution_type, artifact_type)] += 1
+    summary.edge_counts = dict(edges)
+    return summary
+
+
+@dataclass(frozen=True)
+class TraceNode:
+    """A typed reference to a node in the bipartite trace DAG."""
+
+    kind: str  # "artifact" or "execution"
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("artifact", "execution"):
+            raise ValueError(f"unknown node kind {self.kind!r}")
+
+
+def artifact_node(artifact_id: int) -> TraceNode:
+    """Shorthand for an artifact trace node."""
+    return TraceNode("artifact", artifact_id)
+
+
+def execution_node(execution_id: int) -> TraceNode:
+    """Shorthand for an execution trace node."""
+    return TraceNode("execution", execution_id)
+
+
+def _successors(store: MetadataStore, node: TraceNode) -> list[TraceNode]:
+    if node.kind == "artifact":
+        return [execution_node(e)
+                for e in store.get_consumer_execution_ids(node.node_id)]
+    return [artifact_node(a)
+            for a in store.get_output_artifact_ids(node.node_id)]
+
+
+def reachable(store: MetadataStore, source: TraceNode,
+              target: TraceNode) -> bool:
+    """True if ``target`` is downstream of ``source`` in the trace DAG."""
+    return provenance_path(store, source, target) is not None
+
+
+def provenance_path(store: MetadataStore, source: TraceNode,
+                    target: TraceNode) -> list[TraceNode] | None:
+    """Shortest forward path source → target (BFS), or None.
+
+    Paths alternate artifact/execution nodes; useful to answer debugging
+    questions like "through which operators did span 17 influence the
+    pushed model?".
+    """
+    if source == target:
+        return [source]
+    parents: dict[TraceNode, TraceNode] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for successor in _successors(store, current):
+            if successor in parents:
+                continue
+            parents[successor] = current
+            if successor == target:
+                path = [successor]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            frontier.append(successor)
+    return None
+
+
+def impact_set(store: MetadataStore, source: TraceNode,
+               artifact_type: str | None = None) -> set[int]:
+    """All downstream artifact ids of a node (optionally one type).
+
+    The "blast radius" query: which models/pushes would be affected if
+    this span turned out to be corrupt?
+    """
+    seen: set[TraceNode] = {source}
+    artifacts: set[int] = set()
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for successor in _successors(store, current):
+            if successor in seen:
+                continue
+            seen.add(successor)
+            frontier.append(successor)
+            if successor.kind == "artifact":
+                if artifact_type is None or store.get_artifact(
+                        successor.node_id).type_name == artifact_type:
+                    artifacts.add(successor.node_id)
+    return artifacts

@@ -1,0 +1,15 @@
+"""Terminal rendering: ASCII tables, histograms, and curves."""
+
+from .ascii_plots import bar_chart, curve, histogram
+from .tables import format_table, paper_vs_measured
+from .trace_viz import render_graphlet, render_trace
+
+__all__ = [
+    "bar_chart",
+    "curve",
+    "format_table",
+    "histogram",
+    "paper_vs_measured",
+    "render_graphlet",
+    "render_trace",
+]

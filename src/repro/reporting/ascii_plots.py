@@ -1,0 +1,80 @@
+"""ASCII histograms and curves for terminal output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def bar_chart(items: dict[str, float], width: int = 40,
+              title: str | None = None,
+              value_format: str = "{:.2f}") -> str:
+    """Horizontal bar chart of labeled values."""
+    if not items:
+        return title or ""
+    max_value = max(max(items.values()), 1e-12)
+    label_width = max(len(label) for label in items)
+    lines = [title] if title else []
+    for label, value in items.items():
+        bar = "#" * max(int(round(width * value / max_value)), 0)
+        lines.append(f"{label.ljust(label_width)} | "
+                     f"{bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def histogram(values, bins: int = 10, width: int = 40,
+              title: str | None = None, log: bool = False) -> str:
+    """ASCII histogram of a sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return title or "(no data)"
+    if log:
+        arr = arr[arr > 0]
+        if arr.size == 0:
+            return title or "(no positive data)"
+        edges = np.geomspace(arr.min(), max(arr.max(), arr.min() * 1.001),
+                             bins + 1)
+    else:
+        edges = np.linspace(arr.min(), max(arr.max(), arr.min() + 1e-9),
+                            bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    labels = [f"[{edges[i]:9.3g}, {edges[i + 1]:9.3g})"
+              for i in range(bins)]
+    # Degenerate ranges can repeat a label; dict keys must stay unique.
+    seen: dict[str, int] = {}
+    items = {}
+    for label, count in zip(labels, counts):
+        if label in seen:
+            seen[label] += 1
+            label = f"{label} #{seen[label]}"
+        else:
+            seen[label] = 0
+        items[label] = float(count)
+    return bar_chart(items, width=width, title=title,
+                     value_format="{:.0f}")
+
+
+def curve(points: Sequence[tuple[float, float]], width: int = 60,
+          height: int = 16, title: str | None = None,
+          x_label: str = "x", y_label: str = "y") -> str:
+    """Scatter an (x, y) curve onto a character grid."""
+    if not points:
+        return title or "(no data)"
+    xs = np.asarray([p[0] for p in points])
+    ys = np.asarray([p[1] for p in points])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    lines.append(f"{y_label} ({y_lo:.2f}..{y_hi:.2f})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_lo:.2f}..{x_hi:.2f})")
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render rows as an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``. Column widths adapt to content.
+    """
+    def _cell(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: Sequence[tuple[str, float, float]],
+                      title: str = "paper vs measured") -> str:
+    """Render (metric, paper, measured) triples with a ratio column."""
+    table_rows = []
+    for metric, paper, measured in rows:
+        ratio = measured / paper if paper else float("nan")
+        table_rows.append((metric, paper, measured, ratio))
+    return format_table(("metric", "paper", "measured", "ratio"),
+                        table_rows, title=title)

@@ -1,0 +1,83 @@
+"""Figure-2-style trace rendering.
+
+The paper's Figure 2 draws traces with nodes arranged left-to-right in
+increasing order of finish/creation time. :func:`render_trace` produces
+the text equivalent: one line per node in temporal order, with arrows
+naming each execution's inputs and outputs. Intended for small traces
+(the quickstart) and for debugging individual pipelines; large traces
+should go through :func:`repro.mlmd.summarize_by_type` instead.
+"""
+
+from __future__ import annotations
+
+from ..mlmd import ExecutionState, MetadataStore
+
+
+def _artifact_label(store: MetadataStore, artifact_id: int) -> str:
+    artifact = store.get_artifact(artifact_id)
+    extra = ""
+    span_id = artifact.get("span_id")
+    if span_id is not None:
+        extra = f"#{span_id}"
+    return f"{artifact.type_name}{extra}[{artifact.id}]"
+
+
+def render_trace(store: MetadataStore, context_id: int | None = None,
+                 max_nodes: int = 120) -> str:
+    """Render a trace as a temporal listing of executions.
+
+    Each line shows one execution with its inputs and outputs::
+
+        t= 48.0h Trainer[12] ok   DataSpan#1[3], DataSpan#2[7] => Model[9]
+
+    Args:
+        store: The metadata store.
+        context_id: Restrict to one pipeline's trace (None = whole
+            store).
+        max_nodes: Truncate after this many executions (with a marker).
+    """
+    if context_id is None:
+        executions = store.get_executions()
+    else:
+        executions = store.get_executions_by_context(context_id)
+    executions = sorted(executions, key=lambda e: (e.start_time, e.id))
+    lines = []
+    for execution in executions[:max_nodes]:
+        inputs = ", ".join(
+            _artifact_label(store, a)
+            for a in store.get_input_artifact_ids(execution.id))
+        outputs = ", ".join(
+            _artifact_label(store, a)
+            for a in store.get_output_artifact_ids(execution.id))
+        status = {
+            ExecutionState.COMPLETE: "ok  ",
+            ExecutionState.FAILED: "FAIL",
+        }.get(execution.state, execution.state.value[:4])
+        line = (f"t={execution.start_time:7.1f}h "
+                f"{execution.type_name}[{execution.id}] {status} ")
+        if inputs:
+            line += inputs + " "
+        line += "=> " + (outputs if outputs else "(nothing)")
+        lines.append(line)
+    if len(executions) > max_nodes:
+        lines.append(f"... {len(executions) - max_nodes} more executions")
+    return "\n".join(lines)
+
+
+def render_graphlet(graphlet) -> str:
+    """Render one model graphlet's executions (Figure 8's view)."""
+    store = graphlet.store
+    lines = [f"graphlet around Trainer[{graphlet.trainer_execution_id}] "
+             f"({'pushed' if graphlet.pushed else 'unpushed'}, "
+             f"{graphlet.total_cpu_hours:.1f} CPU-h)"]
+    for execution in graphlet.executions():
+        marker = " *" if execution.id == graphlet.trainer_execution_id \
+            else "  "
+        outputs = ", ".join(
+            _artifact_label(store, a)
+            for a in store.get_output_artifact_ids(execution.id)
+            if a in graphlet.artifact_ids)
+        lines.append(f"{marker}t={execution.start_time:7.1f}h "
+                     f"{execution.type_name}[{execution.id}] => "
+                     f"{outputs if outputs else '(nothing)'}")
+    return "\n".join(lines)

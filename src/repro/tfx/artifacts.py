@@ -1,0 +1,58 @@
+"""Artifact type vocabulary of the TFX-like runtime.
+
+Every operator declares the artifact types it consumes and produces;
+the runtime type-checks pipeline wiring against these declarations
+("type-checked at authoring", Section 2.1) and records instances in the
+metadata store under these type names — which is what the trace analysis
+and graphlet segmentation key on.
+"""
+
+from __future__ import annotations
+
+from ..mlmd import Artifact
+
+# Artifact type names (the strings recorded in MLMD).
+DATA_SPAN = "DataSpan"
+EXAMPLES = "Examples"
+STATISTICS = "ExampleStatistics"
+SCHEMA = "Schema"
+DATA_VALIDATION = "DataValidationResult"
+TRANSFORM_GRAPH = "TransformGraph"
+TRANSFORMED_EXAMPLES = "TransformedExamples"
+HYPERPARAMS = "Hyperparameters"
+MODEL = "Model"
+MODEL_EVALUATION = "ModelEvaluation"
+MODEL_BLESSING = "ModelBlessing"
+INFRA_BLESSING = "InfraBlessing"
+PUSHED_MODEL = "PushedModel"
+CUSTOM_ARTIFACT = "CustomArtifact"
+
+#: All artifact types the runtime knows about.
+ALL_ARTIFACT_TYPES = frozenset({
+    DATA_SPAN,
+    EXAMPLES,
+    STATISTICS,
+    SCHEMA,
+    DATA_VALIDATION,
+    TRANSFORM_GRAPH,
+    TRANSFORMED_EXAMPLES,
+    HYPERPARAMS,
+    MODEL,
+    MODEL_EVALUATION,
+    MODEL_BLESSING,
+    INFRA_BLESSING,
+    PUSHED_MODEL,
+    CUSTOM_ARTIFACT,
+})
+
+
+def new_artifact(type_name: str, create_time: float,
+                 **properties) -> Artifact:
+    """Construct an (unsaved) artifact of a known type.
+
+    Raises ``ValueError`` for unknown types so wiring typos surface early.
+    """
+    if type_name not in ALL_ARTIFACT_TYPES:
+        raise ValueError(f"unknown artifact type {type_name!r}")
+    return Artifact(type_name=type_name, create_time=create_time,
+                    properties=dict(properties))

@@ -1,0 +1,43 @@
+"""Model-type taxonomy (Figure 5).
+
+The corpus spans deep models (64% of Trainer runs), DNN+linear combos
+(2%), generalized linear models, tree-based methods, and an "other"
+bucket of ensembles and custom methods. The analysis further collapses
+these to the three-way split used in Figures 3(d)/(e): DNN / Linear /
+Rest.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ModelType(enum.Enum):
+    """Architecture family of a Trainer execution."""
+
+    DNN = "dnn"
+    DNN_LINEAR = "dnn_linear"
+    LINEAR = "linear"
+    TREES = "trees"
+    ENSEMBLE = "ensemble"
+    OTHER = "other"
+
+
+#: The coarse split used by Figure 3(d)/(e): DNN, Linear, Rest.
+def coarse_family(model_type: ModelType) -> str:
+    """Collapse a model type to the DNN / Linear / Rest split."""
+    if model_type in (ModelType.DNN, ModelType.DNN_LINEAR):
+        return "DNN"
+    if model_type is ModelType.LINEAR:
+        return "Linear"
+    return "Rest"
+
+
+#: DNN architecture labels used as one-hot model features (Section 5.2.1).
+DNN_ARCHITECTURES = (
+    "feedforward",
+    "wide_and_deep",
+    "two_tower",
+    "sequence",
+    "cnn",
+)

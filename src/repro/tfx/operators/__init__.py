@@ -1,0 +1,32 @@
+"""Operator library of the TFX-like runtime."""
+
+from .base import Operator, OperatorContext, OperatorResult, OutputArtifact
+from .custom import CustomOperator
+from .data_quality import ExampleValidator, SchemaGen, StatisticsGen
+from .deployment import Pusher
+from .evaluation import Evaluator, InfraValidator, ModelValidator
+from .ingest import MAX_DIGEST_FEATURES, ExampleGen, anonymized_digest
+from .training import Trainer, Tuner
+from .transform import ANALYZER_COST, Transform
+
+__all__ = [
+    "ANALYZER_COST",
+    "CustomOperator",
+    "ExampleGen",
+    "ExampleValidator",
+    "Evaluator",
+    "InfraValidator",
+    "MAX_DIGEST_FEATURES",
+    "ModelValidator",
+    "Operator",
+    "OperatorContext",
+    "OperatorResult",
+    "OutputArtifact",
+    "Pusher",
+    "SchemaGen",
+    "StatisticsGen",
+    "Trainer",
+    "Transform",
+    "Tuner",
+    "anonymized_digest",
+]

@@ -1,0 +1,130 @@
+"""Operator abstraction of the TFX-like runtime.
+
+An operator declares typed inputs and outputs (checked when pipelines are
+authored) and implements ``run``, which receives resolved input artifacts
+plus an :class:`OperatorContext` and returns an :class:`OperatorResult`.
+The runtime turns results into metadata-store nodes and events.
+
+Operators are *pure* with respect to the store: they never write metadata
+themselves. That separation is what lets the same operator code drive both
+the real-execution path (materialized data, actual training) and the
+corpus simulation path (statistics-only spans, outcome hints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ...mlmd import Artifact
+from ..cost import OperatorGroup
+
+
+@dataclass
+class OutputArtifact:
+    """An artifact an operator wants to emit (unsaved).
+
+    ``payload`` carries the in-memory object (a span, a trained model, a
+    vocabulary); the runtime registers it so downstream operators can
+    retrieve it by artifact id.
+    """
+
+    type_name: str
+    properties: dict = field(default_factory=dict)
+    payload: Any = None
+
+
+@dataclass
+class OperatorResult:
+    """Outcome of one operator run.
+
+    Attributes:
+        outputs: Output key → artifacts to emit.
+        ok: False marks the execution FAILED (e.g. a training crash).
+        blocking: When the operator is a gate (data/model validation) and
+            its check fails, ``ok`` stays True (the execution completed)
+            but ``blocking`` is True: downstream operators are skipped.
+            This models Section 2.1's "block the execution of downstream
+            operators if the data contains errors".
+        cost_scale: Multiplier on the operator's sampled compute cost,
+            letting operators express data-size-dependent cost.
+    """
+
+    outputs: dict[str, list[OutputArtifact]] = field(default_factory=dict)
+    ok: bool = True
+    blocking: bool = False
+    cost_scale: float = 1.0
+
+
+@dataclass
+class OperatorContext:
+    """Everything an operator may consult while running.
+
+    Attributes:
+        now: Simulation clock (hours).
+        rng: Randomness source (seed-stable per pipeline).
+        simulation: True on the corpus-simulation path.
+        payloads: Artifact id → in-memory object registry.
+        hints: Mechanism-supplied outcome hints for the simulation path
+            (e.g. ``{"data_validation_ok": False}``); empty on the real
+            path.
+        pipeline_state: Mutable per-pipeline scratch shared across runs
+            (rolling span history, last blessed metrics, ...). Operators
+            should treat it as read-mostly; the runtime owns its shape.
+    """
+
+    now: float
+    rng: np.random.Generator
+    simulation: bool = False
+    payloads: dict[int, Any] = field(default_factory=dict)
+    hints: dict[str, Any] = field(default_factory=dict)
+    pipeline_state: dict[str, Any] = field(default_factory=dict)
+
+    def payload_of(self, artifact: Artifact) -> Any:
+        """Return the in-memory payload of an artifact (or None)."""
+        return self.payloads.get(artifact.id)
+
+
+class Operator:
+    """Base class for all pipeline operators.
+
+    Subclasses set the class attributes and implement :meth:`run`.
+
+    Attributes:
+        name: Operator type name; recorded as the execution type in the
+            metadata store (this is what graphlet segmentation keys on).
+        group: Functional group for Figures 6/7.
+        input_types: Input key → required artifact type name.
+        output_types: Output key → produced artifact type name.
+        optional_inputs: Input keys that may be absent (e.g. a warm-start
+            base model).
+    """
+
+    name: str = "Operator"
+    group: OperatorGroup = OperatorGroup.CUSTOM
+    input_types: dict[str, str] = {}
+    output_types: dict[str, str] = {}
+    optional_inputs: frozenset[str] = frozenset()
+
+    def run(self, ctx: OperatorContext,
+            inputs: dict[str, list[Artifact]]) -> OperatorResult:
+        """Execute the operator; must be overridden."""
+        raise NotImplementedError
+
+    def validate_inputs(self, inputs: dict[str, list[Artifact]]) -> None:
+        """Check resolved inputs against the declared types."""
+        for key, type_name in self.input_types.items():
+            artifacts = inputs.get(key, [])
+            if not artifacts and key not in self.optional_inputs:
+                raise ValueError(
+                    f"{self.name}: required input {key!r} is empty")
+            for artifact in artifacts:
+                if artifact.type_name != type_name:
+                    raise TypeError(
+                        f"{self.name}: input {key!r} expects {type_name}, "
+                        f"got {artifact.type_name}")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,48 @@
+"""Custom (pipeline-author-defined) operators.
+
+Pipeline authors introduce custom operators for ML-task-specific logic
+(Section 2.1); the paper's Figure 4 shows UDF-style analyses are common
+in experimental pipelines. ``CustomOperator`` is a generic passthrough
+node with a caller-supplied function on the real path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .. import artifacts as A
+from ..cost import OperatorGroup
+from .base import Operator, OperatorContext, OperatorResult, OutputArtifact
+
+
+class CustomOperator(Operator):
+    """A black-box operator producing one CustomArtifact.
+
+    Args:
+        label: Distinguishing label recorded on outputs (e.g.
+            "business-rules-filter").
+        fn: Optional real-path function ``(ctx, inputs) -> payload``.
+        consumes: Input key → artifact type consumed (may be empty).
+    """
+
+    name = "CustomOperator"
+    group = OperatorGroup.CUSTOM
+    output_types = {"artifact": A.CUSTOM_ARTIFACT}
+
+    def __init__(self, label: str = "custom",
+                 fn: Callable | None = None,
+                 consumes: dict[str, str] | None = None) -> None:
+        self.label = label
+        self._fn = fn
+        self.input_types = dict(consumes or {})
+        self.optional_inputs = frozenset(self.input_types)
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        payload = None
+        if self._fn is not None and not ctx.simulation:
+            payload = self._fn(ctx, inputs)
+        output = OutputArtifact(type_name=A.CUSTOM_ARTIFACT,
+                                properties={"label": self.label},
+                                payload=payload)
+        return OperatorResult(outputs={"artifact": [output]},
+                              cost_scale=0.3)

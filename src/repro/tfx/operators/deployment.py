@@ -1,0 +1,51 @@
+"""Model deployment operator.
+
+``Pusher`` deploys a blessed model to the downstream serving system
+(Section 2.1). A push "refreshes" the externally visible model; graphlets
+whose Pusher does not produce a ``PushedModel`` are the *unpushed*
+graphlets whose cost Section 5 recovers. Besides the blessing gate,
+pushes can be throttled by the deployment mechanism
+(``ctx.hints["push_throttled"]``), one of the paper's documented
+reasons for unpushed models.
+"""
+
+from __future__ import annotations
+
+from .. import artifacts as A
+from ..cost import OperatorGroup
+from .base import Operator, OperatorContext, OperatorResult, OutputArtifact
+
+
+class Pusher(Operator):
+    """Pushes a blessed model to the serving destination.
+
+    A run with an unblessed model or an active throttle completes
+    (the execution is recorded — it observed the gate) but emits no
+    ``PushedModel``. When the push succeeds the runtime updates
+    ``pipeline_state["last_blessed_auc"]`` so future ModelValidator runs
+    compare against the newly deployed model.
+    """
+
+    name = "Pusher"
+    group = OperatorGroup.MODEL_DEPLOYMENT
+    input_types = {"model": A.MODEL, "blessing": A.MODEL_BLESSING}
+    optional_inputs = frozenset({"blessing"})
+    output_types = {"pushed_model": A.PUSHED_MODEL}
+
+    def __init__(self, destination: str = "serving/default") -> None:
+        self.destination = destination
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        blessings = inputs.get("blessing", [])
+        blessed = all(b.get("blessed", False) for b in blessings) \
+            if blessings else True
+        throttled = bool(ctx.hints.get("push_throttled", False))
+        pushed = blessed and not throttled
+        outputs = {}
+        if pushed:
+            model_artifact = inputs["model"][0]
+            outputs["pushed_model"] = [OutputArtifact(
+                type_name=A.PUSHED_MODEL,
+                properties={"destination": self.destination,
+                            "model_artifact": model_artifact.id})]
+        return OperatorResult(outputs=outputs, cost_scale=0.1)

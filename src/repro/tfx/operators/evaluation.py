@@ -1,0 +1,131 @@
+"""Model analysis and validation operators.
+
+``Evaluator`` computes model metrics over slices of the input data —
+"group-by queries with a model-driven aggregation per group"
+(Section 3.3); ``ModelValidator`` compares the fresh model against the
+last blessed baseline and blocks deployment when it does not improve;
+``InfraValidator`` smoke-tests servability. Together these safety checks
+consume more compute than training itself (Figure 7) and are the direct
+cause of many unpushed graphlets (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ml import roc_auc
+from .. import artifacts as A
+from ..cost import OperatorGroup
+from .base import Operator, OperatorContext, OperatorResult, OutputArtifact
+
+
+class Evaluator(Operator):
+    """Computes evaluation metrics for a trained model.
+
+    Simulation path: the model's quality comes from the corpus mechanism
+    via ``ctx.hints["model_quality"]`` (a latent AUC-like score). Real
+    path: computes ROC AUC of the trained model on the newest span.
+    """
+
+    name = "Evaluator"
+    group = OperatorGroup.MODEL_ANALYSIS_VALIDATION
+    input_types = {"model": A.MODEL, "spans": A.DATA_SPAN}
+    output_types = {"evaluation": A.MODEL_EVALUATION}
+
+    #: Number of data slices metrics are computed over (cost driver).
+    num_slices = 20
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        if ctx.simulation:
+            quality = float(ctx.hints.get("model_quality", 0.5))
+        else:
+            quality = self._evaluate_real(ctx, inputs)
+        output = OutputArtifact(
+            type_name=A.MODEL_EVALUATION,
+            properties={"auc": quality, "num_slices": self.num_slices})
+        scale = 0.3 + 0.02 * self.num_slices
+        return OperatorResult(outputs={"evaluation": [output]},
+                              cost_scale=scale)
+
+    def _evaluate_real(self, ctx: OperatorContext, inputs) -> float:
+        model = ctx.payload_of(inputs["model"][0])
+        spans = [ctx.payload_of(a) for a in inputs["spans"]]
+        spans = [s for s in spans if s is not None and s.is_materialized]
+        if model is None or not spans:
+            return float("nan")
+        from .training import Trainer
+
+        trainer_props = inputs["model"][0].properties
+        helper = Trainer(label_feature=trainer_props.get("label_feature"))
+        features, labels = helper._assemble_dataset(spans[-1:])
+        if features is None or len(np.unique(labels)) < 2:
+            return float("nan")
+        scores = model.predict_proba(features)[:, 1]
+        return float(roc_auc(labels, scores))
+
+
+class ModelValidator(Operator):
+    """Blesses a model only if it beats the last blessed baseline.
+
+    The validation margin and throttling are the main producers of
+    unpushed graphlets. The last blessed metric lives in
+    ``ctx.pipeline_state["last_blessed_auc"]``; the runtime updates it
+    when a Pusher later succeeds, mirroring TFX's blessing protocol.
+    """
+
+    name = "ModelValidator"
+    group = OperatorGroup.MODEL_ANALYSIS_VALIDATION
+    input_types = {"evaluation": A.MODEL_EVALUATION, "model": A.MODEL}
+    output_types = {"blessing": A.MODEL_BLESSING}
+
+    #: Required improvement over the baseline AUC to bless.
+    min_improvement = 0.0
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        auc_value = float(inputs["evaluation"][0].get("auc", float("nan")))
+        if ctx.simulation and "model_blessed" in ctx.hints:
+            blessed = bool(ctx.hints["model_blessed"])
+        else:
+            baseline = float(
+                ctx.pipeline_state.get("last_blessed_auc", float("-inf")))
+            if np.isnan(auc_value):
+                blessed = False
+            else:
+                blessed = auc_value >= baseline + self.min_improvement
+        if blessed and not np.isnan(auc_value):
+            # Stash so the runner can promote it to the blessed baseline
+            # when (and only when) the Pusher later deploys the model.
+            ctx.pipeline_state["candidate_auc"] = auc_value
+        # TFX semantics: the blessing artifact materializes only on
+        # success; a failed validation leaves no blessing, which is what
+        # blocks the Pusher and what graphlet shape features can observe.
+        outputs = {}
+        if blessed:
+            outputs["blessing"] = [OutputArtifact(
+                type_name=A.MODEL_BLESSING,
+                properties={"blessed": True,
+                            "baseline_auc": float(
+                                ctx.pipeline_state.get("last_blessed_auc",
+                                                       float("nan")))})]
+        return OperatorResult(outputs=outputs,
+                              blocking=not blessed, cost_scale=0.2)
+
+
+class InfraValidator(Operator):
+    """Smoke-tests that the model can be loaded and served."""
+
+    name = "InfraValidator"
+    group = OperatorGroup.MODEL_ANALYSIS_VALIDATION
+    input_types = {"model": A.MODEL}
+    output_types = {"infra_blessing": A.INFRA_BLESSING}
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        if ctx.simulation:
+            ok = bool(ctx.hints.get("infra_ok", True))
+        else:
+            model = ctx.payload_of(inputs["model"][0])
+            ok = model is None or hasattr(model, "predict")
+        output = OutputArtifact(type_name=A.INFRA_BLESSING,
+                                properties={"ok": ok})
+        return OperatorResult(outputs={"infra_blessing": [output]},
+                              blocking=not ok, cost_scale=0.1)

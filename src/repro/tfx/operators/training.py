@@ -1,0 +1,195 @@
+"""Training operators: ``Tuner`` and ``Trainer``.
+
+The Trainer consumes a rolling window of data spans (plus the transform
+graph, optional hyperparameters, and an optional warm-start base model)
+and produces a Model artifact. Despite being the step the research
+community optimizes, training is only ~20% of pipeline compute in the
+paper's corpus (Figure 7) — the cost model reflects that through the
+surrounding operators, not by making training cheap.
+
+On the real-execution path the Trainer fits an actual model from
+:mod:`repro.ml` chosen by the pipeline's model type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...ml import (
+    GradientBoostingClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from ..model_types import ModelType
+from .. import artifacts as A
+from ..cost import OperatorGroup
+from .base import Operator, OperatorContext, OperatorResult, OutputArtifact
+
+
+class Tuner(Operator):
+    """Hyperparameter search feeding the Trainer (Figure 1(b))."""
+
+    name = "Tuner"
+    group = OperatorGroup.TRAINING
+    input_types = {"transform_graph": A.TRANSFORM_GRAPH}
+    output_types = {"hyperparams": A.HYPERPARAMS}
+
+    def __init__(self, num_trials: int = 8) -> None:
+        if num_trials < 1:
+            raise ValueError("num_trials must be >= 1")
+        self.num_trials = num_trials
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        chosen = {
+            "learning_rate": float(10 ** ctx.rng.uniform(-3, -1)),
+            "depth": int(ctx.rng.integers(2, 8)),
+        }
+        output = OutputArtifact(
+            type_name=A.HYPERPARAMS,
+            properties={"num_trials": self.num_trials, **chosen},
+            payload=chosen)
+        return OperatorResult(outputs={"hyperparams": [output]},
+                              cost_scale=0.4 * self.num_trials)
+
+
+class Trainer(Operator):
+    """Trains one model per execution.
+
+    Args:
+        model_type: Architecture family (drives Figure 5 and the model
+            features of Section 5.2.1).
+        architecture: DNN architecture label (one-hot model feature).
+        code_version: Trainer code identity; the corpus mechanism evolves
+            it over time and the waste predictor compares it across
+            graphlets (code-change features).
+        warm_start: Whether this Trainer seeds from its previous model.
+        label_feature: Real path only — name of the feature used to
+            derive the binary label (values above the feature's median
+            are positive). None picks the first numeric feature.
+    """
+
+    name = "Trainer"
+    group = OperatorGroup.TRAINING
+    input_types = {
+        "spans": A.DATA_SPAN,
+        "transform_graph": A.TRANSFORM_GRAPH,
+        "base_model": A.MODEL,
+        "hyperparams": A.HYPERPARAMS,
+    }
+    optional_inputs = frozenset({"transform_graph", "base_model",
+                                 "hyperparams"})
+    output_types = {"model": A.MODEL}
+
+    def __init__(self, model_type: ModelType = ModelType.DNN,
+                 architecture: str = "feedforward",
+                 code_version: str = "v1",
+                 warm_start: bool = False,
+                 label_feature: str | None = None) -> None:
+        self.model_type = model_type
+        self.architecture = architecture
+        self.code_version = code_version
+        self.warm_start = warm_start
+        self.label_feature = label_feature
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        if ctx.simulation and ctx.hints.get("trainer_fails", False):
+            return OperatorResult(ok=False, cost_scale=self._cost_scale())
+        base_models = inputs.get("base_model", [])
+        payload = None
+        train_accuracy = float("nan")
+        if not ctx.simulation:
+            payload, train_accuracy = self._train_real(ctx, inputs)
+        code_version = ctx.hints.get("code_version", self.code_version)
+        properties = {
+            "model_type": self.model_type.value,
+            "architecture": self.architecture,
+            "code_version": code_version,
+            # Warm-starting means seeding from a *previous version of
+            # this model* (the operator's own flag); a base model from a
+            # different Trainer in the same run is distillation/model
+            # chaining, which does NOT disqualify the pipeline from the
+            # Section-5 waste analysis.
+            "warm_started": bool(base_models) and self.warm_start,
+            "distilled": bool(base_models) and not self.warm_start,
+            "num_input_spans": len(inputs.get("spans", [])),
+        }
+        if not np.isnan(train_accuracy):
+            properties["train_accuracy"] = float(train_accuracy)
+        output = OutputArtifact(type_name=A.MODEL, properties=properties,
+                                payload=payload)
+        return OperatorResult(outputs={"model": [output]},
+                              cost_scale=self._cost_scale())
+
+    def _cost_scale(self) -> float:
+        scale = {
+            ModelType.DNN: 1.5,
+            ModelType.DNN_LINEAR: 1.6,
+            ModelType.LINEAR: 0.35,
+            ModelType.TREES: 0.6,
+            ModelType.ENSEMBLE: 1.2,
+            ModelType.OTHER: 0.8,
+        }[self.model_type]
+        return scale
+
+    # ------------------------------------------------ real training
+
+    def _train_real(self, ctx: OperatorContext,
+                    inputs) -> tuple[object, float]:
+        spans = [ctx.payload_of(a) for a in inputs.get("spans", [])]
+        spans = [s for s in spans if s is not None and s.is_materialized]
+        if not spans:
+            return None, float("nan")
+        features, labels = self._assemble_dataset(spans)
+        if features is None or len(np.unique(labels)) < 2:
+            return None, float("nan")
+        base_payload = None
+        base_models = inputs.get("base_model", [])
+        if base_models:
+            base_payload = ctx.payload_of(base_models[0])
+        model = self._fit(features, labels, ctx, base_payload)
+        accuracy = float((model.predict(features) == labels).mean())
+        return model, accuracy
+
+    def _assemble_dataset(self, spans) -> tuple[np.ndarray | None,
+                                                np.ndarray | None]:
+        """Stack numeric columns; label = chosen feature above median."""
+        from ...data.schema import FeatureType
+
+        stats = spans[0].statistics.features
+        numeric_names = [n for n, f in stats.items()
+                         if f.type is FeatureType.NUMERIC]
+        if not numeric_names:
+            return None, None
+        label_name = self.label_feature or numeric_names[0]
+        if label_name not in numeric_names:
+            raise ValueError(
+                f"label feature {label_name!r} is not numeric")
+        feature_names = [n for n in numeric_names if n != label_name]
+        if not feature_names:
+            return None, None
+        columns = [np.concatenate([s.column(n) for s in spans])
+                   for n in feature_names]
+        features = np.column_stack(columns)
+        raw_label = np.concatenate([s.column(label_name) for s in spans])
+        labels = (raw_label > np.median(raw_label)).astype(int)
+        return features, labels
+
+    def _fit(self, features: np.ndarray, labels: np.ndarray,
+             ctx: OperatorContext, base_payload):
+        seed = int(ctx.rng.integers(0, 2 ** 31 - 1))
+        if self.model_type in (ModelType.DNN, ModelType.DNN_LINEAR):
+            model = MLPClassifier(hidden_sizes=(16, 8), n_epochs=15,
+                                  random_state=seed)
+            donor = base_payload if isinstance(base_payload,
+                                               MLPClassifier) else None
+            return model.fit(features, labels, warm_start_from=donor)
+        if self.model_type is ModelType.LINEAR:
+            return LogisticRegression(n_iterations=200).fit(features, labels)
+        if self.model_type is ModelType.TREES:
+            return RandomForestClassifier(
+                n_estimators=20, max_depth=6,
+                random_state=seed).fit(features, labels)
+        return GradientBoostingClassifier(
+            n_estimators=30, max_depth=3,
+            random_state=seed).fit(features, labels)

@@ -1,0 +1,127 @@
+"""Data pre-processing operator (feature transformation).
+
+``Transform`` runs the two-stage feature transformation of Section 3.2:
+an expensive *analysis* stage (vocabulary/top-K over categorical
+features; min/max/mean/std/quantiles over numeric; custom UDFs) followed
+by the cheap apply stage. The analyzer mix configured on the operator is
+what Figure 4 measures; each execution records which analyzers ran and
+how many times.
+
+On the real path it executes actual analyzers from
+:mod:`repro.data.analyzers` on materialized spans; on the simulation
+path it charges cost proportional to the analyzer mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...data.analyzers import (
+    AnalyzerKind,
+    CustomAnalyzer,
+    MaxAnalyzer,
+    MeanAnalyzer,
+    MinAnalyzer,
+    QuantilesAnalyzer,
+    StdAnalyzer,
+    VocabularyAnalyzer,
+)
+from ...data.schema import FeatureType
+from .. import artifacts as A
+from ..cost import OperatorGroup
+from .base import Operator, OperatorContext, OperatorResult, OutputArtifact
+
+#: Relative analysis cost per analyzer invocation (vocabulary's top-K
+#: reduction dominates, as Section 3.2 argues).
+ANALYZER_COST = {
+    AnalyzerKind.VOCABULARY: 1.0,
+    AnalyzerKind.MIN: 0.02,
+    AnalyzerKind.MAX: 0.02,
+    AnalyzerKind.MEAN: 0.03,
+    AnalyzerKind.STD: 0.04,
+    AnalyzerKind.QUANTILES: 0.15,
+    AnalyzerKind.CUSTOM: 0.5,
+}
+
+
+class Transform(Operator):
+    """Applies the configured analyzer mix to the input spans.
+
+    Args:
+        analyzer_counts: Analyzer kind → number of features it is applied
+            to in this pipeline. The counts drive both the recorded usage
+            (Figure 4) and the sampled analysis cost.
+        vocab_top_k: K for vocabulary analyzers on the real path.
+    """
+
+    name = "Transform"
+    group = OperatorGroup.DATA_PREPROCESSING
+    input_types = {"spans": A.DATA_SPAN, "schema": A.SCHEMA}
+    optional_inputs = frozenset({"schema"})
+    output_types = {"transform_graph": A.TRANSFORM_GRAPH}
+
+    def __init__(self, analyzer_counts: dict[AnalyzerKind, int]
+                 | None = None, vocab_top_k: int = 1000) -> None:
+        self.analyzer_counts = dict(analyzer_counts or
+                                    {AnalyzerKind.VOCABULARY: 1})
+        for kind, count in self.analyzer_counts.items():
+            if count < 0:
+                raise ValueError(f"negative count for analyzer {kind}")
+        self.vocab_top_k = vocab_top_k
+
+    def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
+        span_artifacts = inputs["spans"]
+        analysis_outputs = {}
+        if not ctx.simulation:
+            analysis_outputs = self._run_real_analyzers(ctx, span_artifacts)
+        usage_props = {
+            f"analyzer_{kind.value}": count
+            for kind, count in self.analyzer_counts.items() if count > 0
+        }
+        total_invocations = sum(self.analyzer_counts.values())
+        output = OutputArtifact(
+            type_name=A.TRANSFORM_GRAPH,
+            properties={"analyzer_invocations": total_invocations,
+                        **usage_props},
+            payload=analysis_outputs or None)
+        # Analysis cost grows sublinearly with the analyzer load (the
+        # expensive reductions share passes over the data) and with the
+        # window size.
+        analyzer_load = sum(ANALYZER_COST[kind] * count
+                            for kind, count in self.analyzer_counts.items())
+        cost_scale = (0.3 + float(np.log1p(analyzer_load))) \
+            * (1.0 + 0.15 * max(len(span_artifacts) - 1, 0))
+        return OperatorResult(outputs={"transform_graph": [output]},
+                              cost_scale=max(cost_scale, 0.05))
+
+    def _run_real_analyzers(self, ctx: OperatorContext,
+                            span_artifacts) -> dict:
+        spans = [ctx.payload_of(a) for a in span_artifacts]
+        spans = [s for s in spans if s is not None and s.is_materialized]
+        if not spans:
+            return {}
+        schema_features = spans[0].statistics.features
+        numeric = [n for n, f in schema_features.items()
+                   if f.type is FeatureType.NUMERIC]
+        categorical = [n for n, f in schema_features.items()
+                       if f.type is FeatureType.CATEGORICAL]
+        results = {}
+        builders = {
+            AnalyzerKind.VOCABULARY: (
+                categorical,
+                lambda name: VocabularyAnalyzer(name, self.vocab_top_k)),
+            AnalyzerKind.MIN: (numeric, MinAnalyzer),
+            AnalyzerKind.MAX: (numeric, MaxAnalyzer),
+            AnalyzerKind.MEAN: (numeric, MeanAnalyzer),
+            AnalyzerKind.STD: (numeric, StdAnalyzer),
+            AnalyzerKind.QUANTILES: (numeric, QuantilesAnalyzer),
+            AnalyzerKind.CUSTOM: (
+                numeric + categorical,
+                lambda name: CustomAnalyzer(name, lambda v: len(v))),
+        }
+        for kind, count in self.analyzer_counts.items():
+            pool, builder = builders[kind]
+            for name in pool[:count]:
+                analyzer = builder(name)
+                results[(kind.value, name)] = analyzer.analyze(spans).value
+        return results

@@ -1,0 +1,263 @@
+"""Pipeline orchestration: executes pipeline runs against a metadata store.
+
+The runner owns everything the operators must not: metadata writes,
+cost sampling, the simulated clock, rolling-window resolution, gating,
+and failure propagation. Every run appends executions/artifacts/events to
+the trace, which grows over the pipeline's life exactly as the paper
+describes (Section 2.1: "the trace will grow over time with every run").
+
+Two run kinds exist: ``ingest`` runs execute only ingest-stage nodes
+(one new span plus per-span analysis), ``train`` runs execute everything.
+The corpus generator drives runners on a simulated clock; examples and
+tests drive them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..mlmd import (
+    Artifact,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    ExecutionState,
+    MetadataStore,
+)
+from .cost import CostModel
+from .operators.base import OperatorContext, OperatorResult
+from .pipeline import INGEST_STAGE, PipelineDef, PipelineNode
+
+#: Node statuses reported per run.
+RAN = "ran"
+FAILED = "failed"
+BLOCKED = "blocked"
+SKIPPED = "skipped"
+NOT_IN_STAGE = "not_in_stage"
+
+
+@dataclass
+class RunReport:
+    """What happened in one pipeline run."""
+
+    run_index: int
+    kind: str
+    started_at: float
+    finished_at: float = 0.0
+    node_status: dict[str, str] = field(default_factory=dict)
+    execution_ids: dict[str, int] = field(default_factory=dict)
+    output_artifact_ids: dict[str, list[int]] = field(default_factory=dict)
+    total_cpu_hours: float = 0.0
+    pushed: bool = False
+
+
+class PipelineRunner:
+    """Drives one pipeline's runs against a store.
+
+    Args:
+        pipeline: The validated pipeline definition.
+        store: Metadata store receiving the trace.
+        simulation: True on the corpus path (stats-only spans, hint-driven
+            outcomes, payloads dropped after each run to bound memory).
+        rng: Randomness source; runs are deterministic given it.
+        cost_model: Compute-cost sampler.
+        pipeline_cost_scale: Pipeline-level size factor multiplying every
+            sampled cost (big-data pipelines cost more across the board).
+    """
+
+    def __init__(self, pipeline: PipelineDef, store: MetadataStore,
+                 rng: np.random.Generator,
+                 simulation: bool = False,
+                 cost_model: CostModel | None = None,
+                 pipeline_cost_scale: float = 1.0,
+                 parallelism: float = 8.0) -> None:
+        self.pipeline = pipeline
+        self.store = store
+        self.rng = rng
+        self.simulation = simulation
+        self.cost_model = cost_model or CostModel()
+        self.pipeline_cost_scale = pipeline_cost_scale
+        self.parallelism = parallelism
+        self.payloads: dict[int, Any] = {}
+        self.pipeline_state: dict[str, Any] = {}
+        self._history: dict[tuple[str, str], list[int]] = {}
+        self._last_result: dict[str, str] = {}
+        self._run_index = 0
+        self.context_id = store.put_context(
+            Context(type_name="Pipeline", name=pipeline.name))
+        self._topo = pipeline.topological_order()
+
+    # ------------------------------------------------------------------
+
+    def run(self, now: float, kind: str = "train",
+            hints: dict[str, Any] | None = None) -> RunReport:
+        """Execute one pipeline run at simulated time ``now``.
+
+        Args:
+            now: Simulation clock (hours) at trigger time.
+            kind: ``"train"`` (full pipeline) or ``"ingest"`` (ingest-stage
+                nodes only).
+            hints: Outcome hints for the simulation path (new span,
+                validation outcomes, throttling, failures).
+        """
+        if kind not in ("train", "retrain", INGEST_STAGE):
+            raise ValueError(f"unknown run kind {kind!r}")
+        hints = hints or {}
+        report = RunReport(run_index=self._run_index, kind=kind,
+                           started_at=now)
+        cursor = now
+        fresh_outputs: dict[str, bool] = {}
+        if kind == "retrain":
+            # A retrain re-runs the training subgraph on the existing
+            # window (a pipeline author iterating on the same data); the
+            # ingest-stage outputs of previous runs count as fresh.
+            for node in self._topo:
+                if node.stage == INGEST_STAGE:
+                    fresh_outputs[node.node_id] = (
+                        self._last_result.get(node.node_id)
+                        in ("ok", "blocking"))
+        for node in self._topo:
+            if kind == INGEST_STAGE and node.stage != INGEST_STAGE:
+                report.node_status[node.node_id] = NOT_IN_STAGE
+                continue
+            if kind == "retrain" and node.stage == INGEST_STAGE:
+                report.node_status[node.node_id] = NOT_IN_STAGE
+                continue
+            status, duration = self._run_node(node, cursor, hints, report,
+                                              fresh_outputs)
+            report.node_status[node.node_id] = status
+            cursor += duration
+        report.finished_at = cursor
+        self._run_index += 1
+        if self.simulation:
+            self.payloads.clear()
+        return report
+
+    @property
+    def run_count(self) -> int:
+        """Number of runs executed so far."""
+        return self._run_index
+
+    # ------------------------------------------------------------------
+
+    def _run_node(self, node: PipelineNode, now: float, hints: dict,
+                  report: RunReport,
+                  fresh_outputs: dict[str, bool]) -> tuple[str, float]:
+        # Gate check: any gating validator currently blocking?
+        for gate in node.gates:
+            if self._last_result.get(gate) in ("blocking", FAILED,
+                                               SKIPPED, BLOCKED):
+                return BLOCKED, 0.0
+        # Resolve inputs from history.
+        inputs: dict[str, list[Artifact]] = {}
+        for key, spec in node.inputs.items():
+            history = self._history.get((spec.source, spec.key), [])
+            artifact_ids = history[-spec.window:]
+            if spec.fresh and not fresh_outputs.get(spec.source, False):
+                return SKIPPED, 0.0
+            if not artifact_ids and key not in node.operator.optional_inputs:
+                return SKIPPED, 0.0
+            inputs[key] = [self.store.get_artifact(a) for a in artifact_ids]
+        try:
+            node.operator.validate_inputs(inputs)
+        except (TypeError, ValueError):
+            return SKIPPED, 0.0
+
+        # Asynchronous orchestration: a run can be triggered while a
+        # previous run's operators are still finishing. A node cannot
+        # start before its inputs exist, so its start time is pushed to
+        # the latest input's creation (queuing delay).
+        start = now
+        for artifacts in inputs.values():
+            for artifact in artifacts:
+                if artifact.create_time > start:
+                    start = artifact.create_time
+
+        effective_hints = hints
+        node_overrides = hints.get("node_overrides")
+        if node_overrides and node.node_id in node_overrides:
+            effective_hints = {**hints, **node_overrides[node.node_id]}
+        ctx = OperatorContext(
+            now=now, rng=self.rng, simulation=self.simulation,
+            payloads=self.payloads, hints=effective_hints,
+            pipeline_state=self.pipeline_state)
+        injected_failure = (node.node_id in hints.get("fail_nodes", ())
+                            or hints.get("fail_node") == node.node_id)
+        execution = Execution(type_name=node.operator.name,
+                              start_time=start,
+                              state=ExecutionState.RUNNING)
+        execution_id = self.store.put_execution(execution)
+        self.store.put_association(self.context_id, execution_id)
+        for artifacts in inputs.values():
+            for artifact in artifacts:
+                self.store.put_event(Event(artifact.id, execution_id,
+                                           EventType.INPUT, time=start))
+        report.execution_ids[node.node_id] = execution_id
+
+        error: Exception | None = None
+        result: OperatorResult | None = None
+        if not injected_failure:
+            try:
+                result = node.operator.run(ctx, inputs)
+            except Exception as exc:  # Operator bugs become FAILED runs.
+                error = exc
+        failed = injected_failure or error is not None or (
+            result is not None and not result.ok)
+
+        cost_scale = (result.cost_scale if result is not None else 1.0)
+        cpu_hours = self.cost_model.sample(
+            node.operator.group, self.rng,
+            scale=cost_scale * self.pipeline_cost_scale)
+        duration = self.cost_model.wall_clock_hours(cpu_hours,
+                                                    self.parallelism)
+        execution.end_time = start + duration
+        execution.properties["cpu_hours"] = float(cpu_hours)
+        execution.properties["group"] = node.operator.group.value
+        if node.operator.name == "Trainer":
+            code_version = effective_hints.get(
+                "code_version", getattr(node.operator, "code_version", ""))
+            execution.properties["code_version"] = str(code_version)
+        if error is not None:
+            execution.properties["error"] = type(error).__name__
+
+        if failed:
+            execution.state = ExecutionState.FAILED
+            self.store.put_execution(execution)
+            self._last_result[node.node_id] = FAILED
+            report.total_cpu_hours += cpu_hours
+            return FAILED, execution.end_time - now
+
+        execution.state = ExecutionState.COMPLETE
+        self.store.put_execution(execution)
+        produced_any = False
+        for key, output_list in result.outputs.items():
+            ids: list[int] = []
+            for output in output_list:
+                artifact = Artifact(type_name=output.type_name,
+                                    create_time=execution.end_time,
+                                    properties=output.properties)
+                artifact_id = self.store.put_artifact(artifact)
+                self.store.put_attribution(self.context_id, artifact_id)
+                self.store.put_event(Event(artifact_id, execution_id,
+                                           EventType.OUTPUT,
+                                           time=execution.end_time))
+                if output.payload is not None:
+                    self.payloads[artifact_id] = output.payload
+                ids.append(artifact_id)
+                produced_any = True
+            self._history.setdefault((node.node_id, key), []).extend(ids)
+            report.output_artifact_ids.setdefault(node.node_id, []).extend(ids)
+        fresh_outputs[node.node_id] = produced_any
+        if node.operator.name == "Pusher" and produced_any:
+            report.pushed = True
+            candidate = self.pipeline_state.get("candidate_auc")
+            if candidate is not None:
+                self.pipeline_state["last_blessed_auc"] = float(candidate)
+        self._last_result[node.node_id] = (
+            "blocking" if result.blocking else "ok")
+        report.total_cpu_hours += cpu_hours
+        return RAN, execution.end_time - now

@@ -1,0 +1,93 @@
+"""Trigger processes: what schedules pipeline runs.
+
+Section 2.1: "a pipeline may be triggered periodically (e.g., by
+ingesting the newest span of data every hour and triggering new runs of
+the operators) or manually (e.g., a model developer reruns the pipeline
+after making changes)". This module packages those patterns for library
+users; the corpus generator implements the same loop with its outcome
+mechanism layered on top.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from ..data.spans import DataSpan
+from .runtime import PipelineRunner, RunReport
+
+#: A span source yields one fresh DataSpan per trigger given the current
+#: simulated time in hours.
+SpanSource = Callable[[float], DataSpan]
+
+
+@dataclass
+class PeriodicTrigger:
+    """Continuous-pipeline scheduling: ingest every period, train every
+    ``train_every``-th span, on full windows only.
+
+    Example:
+        >>> # trigger = PeriodicTrigger(runner, source, period_hours=24.0)
+        >>> # reports = list(trigger.run_for(days=30))
+    """
+
+    runner: PipelineRunner
+    span_source: SpanSource
+    period_hours: float = 24.0
+    train_every: int = 1
+    warmup_spans: int = 0
+    start_time: float = 0.0
+    hints_fn: Callable[[float, str], dict] | None = None
+    _span_index: int = field(default=0, init=False)
+    _now: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.period_hours <= 0:
+            raise ValueError("period_hours must be positive")
+        if self.train_every < 1:
+            raise ValueError("train_every must be >= 1")
+        self._now = self.start_time
+
+    @property
+    def now(self) -> float:
+        """The trigger's simulated clock (hours)."""
+        return self._now
+
+    def tick(self) -> RunReport:
+        """Fire one trigger: ingest a span, train when due."""
+        span = self.span_source(self._now)
+        is_train = ((self._span_index + 1) % self.train_every == 0
+                    and self._span_index + 1 > self.warmup_spans)
+        kind = "train" if is_train else "ingest"
+        hints = self.hints_fn(self._now, kind) if self.hints_fn else {}
+        hints = dict(hints)
+        hints["new_span"] = span
+        report = self.runner.run(self._now, kind=kind, hints=hints)
+        self._span_index += 1
+        self._now += self.period_hours
+        return report
+
+    def run_for(self, days: float) -> Iterator[RunReport]:
+        """Yield reports for every trigger within the next ``days``."""
+        end = self._now + days * 24.0
+        while self._now < end:
+            yield self.tick()
+
+
+@dataclass
+class ManualTrigger:
+    """Developer-driven retraining: rerun training on the current window.
+
+    Models the paper's manual-trigger mode — "a model developer reruns
+    the pipeline after making changes to the input data or training
+    code". Each ``retrain`` reuses the ingested window (a ``retrain``
+    run); pair with a :class:`PeriodicTrigger` for the ingestion side.
+    """
+
+    runner: PipelineRunner
+    hints_fn: Callable[[float], dict] | None = None
+
+    def retrain(self, now: float) -> RunReport:
+        """Re-run the training subgraph on the existing window."""
+        hints = self.hints_fn(now) if self.hints_fn else {}
+        return self.runner.run(now, kind="retrain", hints=dict(hints))

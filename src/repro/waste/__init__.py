@@ -1,0 +1,88 @@
+"""Waste mitigation (Section 5): predict-and-skip unpushed graphlets."""
+
+from .dataset import (
+    WasteDataset,
+    build_waste_dataset,
+    feature_cost_index,
+    pipeline_uses_warmstart,
+)
+from .evaluation import (
+    TradeoffCurve,
+    WasteEvaluation,
+    evaluate_policies,
+    tradeoff_curve,
+)
+from .features import (
+    ALL_FAMILIES,
+    DEFAULT_HISTORY_WINDOW,
+    FAMILY_CODE,
+    FAMILY_INPUT,
+    FAMILY_MODEL,
+    FAMILY_SHAPE_POST,
+    FAMILY_SHAPE_PRE,
+    FAMILY_SHAPE_TRAINER,
+    GraphletFeatures,
+    extract_features,
+)
+from .materialization import (
+    Stage,
+    expected_run_cost,
+    greedy_policy,
+    optimal_policy,
+    stages_from_cost_shares,
+)
+from .heuristics import (
+    HeuristicResult,
+    code_match_heuristic,
+    input_overlap_heuristic,
+    model_type_heuristic,
+    run_all_heuristics,
+)
+from .scheduler import ReplayOutcome, SkippingScheduler
+from .policy import (
+    ABLATION_FAMILIES,
+    VARIANT_FAMILIES,
+    TrainedPolicy,
+    WasteSplit,
+    train_all_variants,
+    train_variant,
+)
+
+__all__ = [
+    "ABLATION_FAMILIES",
+    "ALL_FAMILIES",
+    "DEFAULT_HISTORY_WINDOW",
+    "FAMILY_CODE",
+    "FAMILY_INPUT",
+    "FAMILY_MODEL",
+    "FAMILY_SHAPE_POST",
+    "FAMILY_SHAPE_PRE",
+    "FAMILY_SHAPE_TRAINER",
+    "GraphletFeatures",
+    "HeuristicResult",
+    "ReplayOutcome",
+    "SkippingScheduler",
+    "Stage",
+    "TradeoffCurve",
+    "TrainedPolicy",
+    "VARIANT_FAMILIES",
+    "WasteDataset",
+    "WasteEvaluation",
+    "WasteSplit",
+    "build_waste_dataset",
+    "code_match_heuristic",
+    "evaluate_policies",
+    "expected_run_cost",
+    "greedy_policy",
+    "extract_features",
+    "feature_cost_index",
+    "input_overlap_heuristic",
+    "model_type_heuristic",
+    "optimal_policy",
+    "pipeline_uses_warmstart",
+    "run_all_heuristics",
+    "stages_from_cost_shares",
+    "tradeoff_curve",
+    "train_all_variants",
+    "train_variant",
+]

@@ -1,0 +1,135 @@
+"""Hand-crafted heuristic baselines (Section 5.1).
+
+The paper tried simple single-signal rules — model type, input overlap,
+code match — and found the best (model type) reaches only ~0.6 balanced
+accuracy, motivating the learned approach. Each heuristic here maps a
+dataset row to a push prediction; thresholds for the scalar heuristics
+are fit on the training split by maximizing balanced accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml import balanced_accuracy
+from .dataset import WasteDataset
+from .features import FAMILY_CODE, FAMILY_INPUT, FAMILY_MODEL
+from .policy import WasteSplit
+
+
+@dataclass
+class HeuristicResult:
+    """One heuristic's fitted rule and its test performance."""
+
+    name: str
+    balanced_accuracy: float
+    description: str
+
+
+def _column(dataset: WasteDataset, family: str, name: str) -> np.ndarray:
+    matrix = dataset.matrix((family,))
+    names = dataset.column_names((family,))
+    try:
+        index = names.index(name)
+    except ValueError:
+        raise KeyError(f"no feature {name!r} in family {family!r}") \
+            from None
+    return matrix[:, index]
+
+
+def _best_threshold_rule(values: np.ndarray, labels: np.ndarray
+                         ) -> tuple[float, bool]:
+    """Fit sign and threshold maximizing balanced accuracy."""
+    candidates = np.unique(values)
+    if len(candidates) > 200:
+        candidates = np.quantile(values, np.linspace(0, 1, 200))
+    best = (0.5, True)
+    best_score = -1.0
+    for threshold in candidates:
+        for positive_above in (True, False):
+            predictions = (values >= threshold
+                           if positive_above else values < threshold)
+            score = balanced_accuracy(labels, predictions.astype(int))
+            if score > best_score:
+                best_score = score
+                best = (float(threshold), positive_above)
+    return best
+
+
+def model_type_heuristic(dataset: WasteDataset,
+                         split: WasteSplit) -> HeuristicResult:
+    """Predict push from the model type's training-split push rate."""
+    matrix = dataset.matrix((FAMILY_MODEL,))
+    names = dataset.column_names((FAMILY_MODEL,))
+    type_columns = [i for i, n in enumerate(names)
+                    if n.startswith("model_type=")]
+    train = split.train_indices
+    test = split.test_indices
+    labels = dataset.labels
+    push_rates = {}
+    for column in type_columns:
+        mask = matrix[train, column] > 0
+        push_rates[column] = float(labels[train][mask].mean()) \
+            if mask.any() else 0.0
+    overall = float(labels[train].mean())
+    predictions = np.zeros(len(test), dtype=int)
+    for row, index in enumerate(test):
+        rate = overall
+        for column in type_columns:
+            if matrix[index, column] > 0:
+                rate = push_rates[column]
+                break
+        predictions[row] = int(rate >= overall)
+    return HeuristicResult(
+        name="model_type",
+        balanced_accuracy=balanced_accuracy(labels[test], predictions),
+        description="push iff the model type's historical push rate is "
+                    "above the corpus average")
+
+
+def input_overlap_heuristic(dataset: WasteDataset,
+                            split: WasteSplit) -> HeuristicResult:
+    """Threshold on the Jaccard overlap with the previous graphlet."""
+    values = _column(dataset, FAMILY_INPUT, "jaccard_1")
+    labels = dataset.labels
+    threshold, above = _best_threshold_rule(values[split.train_indices],
+                                            labels[split.train_indices])
+    test_values = values[split.test_indices]
+    predictions = (test_values >= threshold if above
+                   else test_values < threshold).astype(int)
+    return HeuristicResult(
+        name="input_overlap",
+        balanced_accuracy=balanced_accuracy(labels[split.test_indices],
+                                            predictions),
+        description=f"push iff jaccard_1 {'>=' if above else '<'} "
+                    f"{threshold:.3f}")
+
+
+def code_match_heuristic(dataset: WasteDataset,
+                         split: WasteSplit) -> HeuristicResult:
+    """Predict push from whether the trainer code changed."""
+    values = _column(dataset, FAMILY_CODE, "code_change_1")
+    labels = dataset.labels
+    threshold, above = _best_threshold_rule(values[split.train_indices],
+                                            labels[split.train_indices])
+    test_values = values[split.test_indices]
+    predictions = (test_values >= threshold if above
+                   else test_values < threshold).astype(int)
+    return HeuristicResult(
+        name="code_match",
+        balanced_accuracy=balanced_accuracy(labels[split.test_indices],
+                                            predictions),
+        description=f"push iff code_change_1 {'>=' if above else '<'} "
+                    f"{threshold:.3f}")
+
+
+def run_all_heuristics(dataset: WasteDataset,
+                       split: WasteSplit) -> list[HeuristicResult]:
+    """Evaluate all hand-crafted heuristics on the shared split."""
+    return [
+        model_type_heuristic(dataset, split),
+        input_overlap_heuristic(dataset, split),
+        code_match_heuristic(dataset, split),
+    ]

@@ -1,0 +1,167 @@
+"""Artifact materialization policy (Section 3.3's opportunity).
+
+The paper: "We can use the costs in Figure 7 (in conjunction with
+failure probabilities) to determine optimized materialization policies,
+identifying where it might be most valuable to cache artifacts, e.g.,
+after pre-processing, training, or model validation."
+
+Model: a pipeline is a chain of stages; each run, stage *i* fails with
+probability ``p_i`` after spending ``c_i``. On failure the run is
+retried; any stage whose output was cached (and whose inputs did not
+change — e.g., a training-code failure leaves the data transforms valid)
+is skipped on the retry. Caching stage *i*'s output costs ``w_i`` per
+run (storage + write). The policy chooses the subset of stages to cache
+that minimizes expected cost per successful run.
+
+With a chain of ``k`` stages the subsets are 2^k; production pipelines
+have ~6 stages, so exhaustive search is exact and instant. A greedy
+marginal-benefit heuristic is provided for long chains and compared in
+the ablation bench.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage in the materialization model.
+
+    Attributes:
+        name: Stage label (e.g. "transform").
+        cost: Expected compute cost of running the stage once.
+        failure_probability: Chance the stage fails in a given run.
+        cache_cost: Per-run cost of materializing this stage's output.
+    """
+
+    name: str
+    cost: float
+    failure_probability: float
+    cache_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cost < 0 or self.cache_cost < 0:
+            raise ValueError("costs must be non-negative")
+        if not 0.0 <= self.failure_probability < 1.0:
+            raise ValueError("failure probability must be in [0, 1)")
+
+
+def expected_run_cost(stages: list[Stage], cached: frozenset[str]) -> float:
+    """Expected compute until the chain completes once, given a cache set.
+
+    The run executes stages in order; when stage *i* fails, the run
+    restarts, but stages whose outputs are cached are skipped as long as
+    every earlier stage was also completed at least once (their outputs
+    exist from the failed attempt). Cached outputs act as checkpoints:
+    a failure retries only the contiguous block of stages since the last
+    checkpoint, and each block's retries follow the standard geometric
+    renewal recursion.
+    """
+    n = len(stages)
+    if n == 0:
+        return 0.0
+    expected = 0.0
+    i = 0
+    while i < n:
+        # The block [i, b) extends until the next cached checkpoint.
+        b = i
+        while b < n and stages[b].name not in cached:
+            b += 1
+        if b < n:
+            b += 1  # Include the cached stage as the block terminator.
+        block = stages[i:b]
+        # Expected cost to get through the block: each attempt pays the
+        # costs of stages until one fails; retry the whole block.
+        success_probability = 1.0
+        for stage in block:
+            success_probability *= 1.0 - stage.failure_probability
+        # Expected cost of a single attempt (stops at first failure).
+        attempt_cost = 0.0
+        alive = 1.0
+        for stage in block:
+            attempt_cost += alive * stage.cost
+            alive *= 1.0 - stage.failure_probability
+        if success_probability <= 0:
+            return float("inf")
+        expected += attempt_cost / success_probability
+        i = b
+    # Cache write costs are paid once per successful run per cached stage.
+    expected += sum(stage.cache_cost for stage in stages
+                    if stage.name in cached)
+    return expected
+
+
+def optimal_policy(stages: list[Stage]) -> tuple[frozenset[str], float]:
+    """Exhaustive search over cache subsets (exact for short chains)."""
+    if len(stages) > 16:
+        raise ValueError(
+            "exhaustive search is limited to 16 stages; use greedy_policy")
+    names = [s.name for s in stages]
+    best_set: frozenset[str] = frozenset()
+    best_cost = expected_run_cost(stages, best_set)
+    for r in range(1, len(names) + 1):
+        for combo in itertools.combinations(names, r):
+            candidate = frozenset(combo)
+            cost = expected_run_cost(stages, candidate)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_set = candidate
+    return best_set, best_cost
+
+
+def greedy_policy(stages: list[Stage]) -> tuple[frozenset[str], float]:
+    """Greedy marginal-benefit caching (for long chains).
+
+    Repeatedly add the checkpoint with the largest expected-cost
+    reduction until no addition helps.
+    """
+    cached: frozenset[str] = frozenset()
+    current = expected_run_cost(stages, cached)
+    names = [s.name for s in stages]
+    improved = True
+    while improved:
+        improved = False
+        best_name = None
+        best_cost = current
+        for name in names:
+            if name in cached:
+                continue
+            cost = expected_run_cost(stages, cached | {name})
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_name = name
+        if best_name is not None:
+            cached = cached | {best_name}
+            current = best_cost
+            improved = True
+    return cached, current
+
+
+def stages_from_cost_shares(cost_shares: dict[str, float],
+                            failure_probabilities: dict[str, float],
+                            cache_cost_fraction: float = 0.02
+                            ) -> list[Stage]:
+    """Build a canonical pipeline-chain model from Figure-7 shares.
+
+    Stages follow the pipeline order: ingestion → data analysis/
+    validation → pre-processing → training → model analysis/validation →
+    deployment. Cache cost is a fraction of the stage's compute.
+    """
+    order = [
+        "data_ingestion",
+        "data_analysis_validation",
+        "data_preprocessing",
+        "training",
+        "model_analysis_validation",
+        "model_deployment",
+    ]
+    stages = []
+    for name in order:
+        share = cost_shares.get(name, 0.0)
+        stages.append(Stage(
+            name=name, cost=share,
+            failure_probability=failure_probabilities.get(name, 0.0),
+            cache_cost=share * cache_cost_fraction))
+    return stages

@@ -1,0 +1,161 @@
+"""Skipping scheduler: deploy the Section-5 policy in the pipeline loop.
+
+Section 5: "the pipeline scheduler may choose to down-prioritize or
+stall such graphlets until the pipeline owner intervenes". This module
+closes the loop: a :class:`SkippingScheduler` wraps a pipeline's
+training triggers, extracts the policy's *pre-run* features (input-data
+family plus any families whose stages already ran), asks the trained
+classifier whether the graphlet will push, and skips the training run
+when the predicted push probability falls below the policy threshold.
+
+Replaying a corpus with and without the scheduler measures the realized
+compute savings and the freshness impact — the deployment-side view of
+Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphlets import Graphlet, segment_pipeline
+from ..mlmd import MetadataStore
+from ..similarity import SpanPairCache
+from .features import extract_features
+from .policy import TrainedPolicy
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying one pipeline's graphlets under a policy.
+
+    Attributes:
+        n_graphlets: Graphlets considered.
+        n_skipped: Graphlets the scheduler would have stalled.
+        skipped_pushed: Stalled graphlets that would have pushed
+            (freshness violations).
+        cpu_saved: Total CPU-hours of stalled graphlets.
+        cpu_total: Total CPU-hours of all graphlets.
+        unpushed_cpu_total: CPU-hours of unpushed graphlets (the waste
+            pool the policy can recover from).
+    """
+
+    n_graphlets: int = 0
+    n_skipped: int = 0
+    skipped_pushed: int = 0
+    cpu_saved: float = 0.0
+    cpu_total: float = 0.0
+    unpushed_cpu_total: float = 0.0
+
+    @property
+    def freshness(self) -> float:
+        """Fraction of would-push graphlets that still run."""
+        pushed_total = self.n_pushed
+        if pushed_total == 0:
+            return 1.0
+        return 1.0 - self.skipped_pushed / pushed_total
+
+    n_pushed: int = 0
+
+    @property
+    def waste_recovered(self) -> float:
+        """Fraction of unpushed compute the scheduler saved."""
+        if self.unpushed_cpu_total <= 0:
+            return 0.0
+        saved_waste = self.cpu_saved_unpushed
+        return saved_waste / self.unpushed_cpu_total
+
+    cpu_saved_unpushed: float = 0.0
+
+    def merge(self, other: "ReplayOutcome") -> None:
+        """Accumulate another pipeline's outcome into this one."""
+        self.n_graphlets += other.n_graphlets
+        self.n_skipped += other.n_skipped
+        self.skipped_pushed += other.skipped_pushed
+        self.cpu_saved += other.cpu_saved
+        self.cpu_total += other.cpu_total
+        self.unpushed_cpu_total += other.unpushed_cpu_total
+        self.n_pushed += other.n_pushed
+        self.cpu_saved_unpushed += other.cpu_saved_unpushed
+
+
+@dataclass
+class SkippingScheduler:
+    """Applies a trained policy to decide skip/run per graphlet.
+
+    Args:
+        policy: A fitted Section-5 variant. Its ``families`` determine
+            which features the scheduler may consult — the intervention
+            point (e.g. RF:Input decides right after ingestion).
+        threshold: Override the policy's fitted decision threshold
+            (lower = skip less, preserve freshness).
+    """
+
+    policy: TrainedPolicy
+    threshold: float | None = None
+    _cache: SpanPairCache = field(default_factory=SpanPairCache)
+
+    def decide(self, graphlet: Graphlet,
+               history: list[Graphlet]) -> tuple[bool, float]:
+        """(run?, predicted push probability) for one graphlet.
+
+        ``history`` holds the pipeline's previous (actually-run)
+        graphlets, oldest first.
+        """
+        features = extract_features(graphlet, history, cache=self._cache)
+        merged = features.select(self.policy.families)
+        # Column order must match the training matrix.
+        columns = self._columns()
+        row = np.asarray([[merged.get(name, 0.0) for name in columns]])
+        positive_col = int(np.argmax(self.policy.model.classes_ == 1))
+        probability = float(
+            self.policy.model.predict_proba(row)[0, positive_col])
+        cutoff = (self.threshold if self.threshold is not None
+                  else self.policy.decision_threshold)
+        return probability >= cutoff, probability
+
+    def _columns(self) -> list[str]:
+        if self.policy.feature_columns is None:
+            raise ValueError(
+                "policy has no recorded feature columns; retrain with the "
+                "current train_variant")
+        return self.policy.feature_columns
+
+    def replay_pipeline(self, store: MetadataStore,
+                        context_id: int) -> ReplayOutcome:
+        """Counterfactually replay one pipeline's recorded graphlets.
+
+        Skipped graphlets are removed from the history the *next*
+        decisions see — exactly what a deployed scheduler would observe.
+        """
+        outcome = ReplayOutcome()
+        graphlets = segment_pipeline(store, context_id)
+        history: list[Graphlet] = []
+        for graphlet in graphlets:
+            outcome.n_graphlets += 1
+            cost = graphlet.total_cpu_hours
+            outcome.cpu_total += cost
+            if graphlet.pushed:
+                outcome.n_pushed += 1
+            else:
+                outcome.unpushed_cpu_total += cost
+            run, _ = self.decide(graphlet, history)
+            if run:
+                history.append(graphlet)
+            else:
+                outcome.n_skipped += 1
+                outcome.cpu_saved += cost
+                if graphlet.pushed:
+                    outcome.skipped_pushed += 1
+                else:
+                    outcome.cpu_saved_unpushed += cost
+        return outcome
+
+    def replay_corpus(self, store: MetadataStore,
+                      context_ids) -> ReplayOutcome:
+        """Replay many pipelines; returns the merged outcome."""
+        total = ReplayOutcome()
+        for context_id in context_ids:
+            total.merge(self.replay_pipeline(store, context_id))
+        return total

@@ -1,0 +1,54 @@
+"""Cross-module checks: trace queries against analysis expectations."""
+
+import numpy as np
+import pytest
+
+from repro.mlmd import artifact_node, impact_set, provenance_path, reachable
+
+
+class TestCorpusTraceQueries:
+    def test_pushed_models_trace_back_to_spans(self, small_corpus):
+        """Every pushed model must be reachable from at least one span —
+        the chain quickstart prints, asserted corpus-wide."""
+        store = small_corpus.store
+        pushed = store.get_artifacts("PushedModel")[:20]
+        for artifact in pushed:
+            # Walk backwards: pusher → model → trainer → spans.
+            pusher = store.get_execution(
+                store.get_producer_execution_ids(artifact.id)[0])
+            model = next(a for a in store.get_input_artifacts(pusher.id)
+                         if a.type_name == "Model")
+            trainer = store.get_execution(
+                store.get_producer_execution_ids(model.id)[0])
+            spans = [a for a in store.get_input_artifacts(trainer.id)
+                     if a.type_name == "DataSpan"]
+            assert spans
+            path = provenance_path(store, artifact_node(spans[0].id),
+                                   artifact_node(artifact.id))
+            assert path is not None
+            assert len(path) >= 5  # span, trainer, model, pusher, pushed
+
+    def test_impact_set_contains_graphlet_outputs(self, small_corpus,
+                                                  small_graphlets):
+        store = small_corpus.store
+        graphlets = next(g for g in small_graphlets.values() if g)
+        graphlet = graphlets[0]
+        span_id = graphlet.input_span_artifact_ids()[0]
+        models = impact_set(store, artifact_node(span_id),
+                            artifact_type="Model")
+        if graphlet.model_artifact_id is not None:
+            assert graphlet.model_artifact_id in models
+
+    def test_spans_do_not_reach_unrelated_pipelines(self, small_corpus):
+        store = small_corpus.store
+        contexts = small_corpus.production_context_ids
+        if len(contexts) < 2:
+            pytest.skip("need two pipelines")
+        spans_a = [a for a in store.get_artifacts_by_context(contexts[0])
+                   if a.type_name == "DataSpan"]
+        models_b = [a for a in store.get_artifacts_by_context(contexts[1])
+                    if a.type_name == "Model"]
+        if not spans_a or not models_b:
+            pytest.skip("sparse corpus draw")
+        assert not reachable(store, artifact_node(spans_a[0].id),
+                             artifact_node(models_b[0].id))

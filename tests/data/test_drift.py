@@ -1,0 +1,74 @@
+"""Drift-process tests."""
+
+import numpy as np
+
+from repro.data import DriftConfig, DriftProcess, FeatureType, random_schema
+
+
+class TestDriftProcess:
+    def test_step_returns_schema_of_same_shape(self, rng):
+        schema = random_schema(rng, n_features=8)
+        process = DriftProcess(schema, rng)
+        drifted = process.step()
+        assert drifted.feature_names == schema.feature_names
+
+    def test_original_schema_unmodified(self, rng):
+        schema = random_schema(rng, n_features=4)
+        means = [f.numeric.mean for f in schema if f.numeric]
+        process = DriftProcess(schema, rng)
+        for _ in range(20):
+            process.step()
+        assert [f.numeric.mean for f in schema if f.numeric] == means
+
+    def test_drift_magnitude_grows(self, rng):
+        schema = random_schema(rng, n_features=10)
+        process = DriftProcess(schema, rng)
+        process.step()
+        early = process.drift_magnitude
+        for _ in range(200):
+            process.step()
+        assert process.drift_magnitude > early
+
+    def test_zero_steps_zero_magnitude(self, rng):
+        schema = random_schema(rng, n_features=4)
+        process = DriftProcess(schema, rng)
+        assert process.drift_magnitude == 0.0
+
+    def test_deterministic_given_seed(self):
+        schema_rng = np.random.default_rng(1)
+        schema = random_schema(schema_rng, n_features=6)
+        a = DriftProcess(schema, np.random.default_rng(5))
+        b = DriftProcess(schema, np.random.default_rng(5))
+        for _ in range(10):
+            sa, sb = a.step(), b.step()
+        for fa, fb in zip(sa, sb):
+            if fa.type is FeatureType.NUMERIC:
+                assert fa.numeric.mean == fb.numeric.mean
+            else:
+                assert fa.categorical.zipf_s == fb.categorical.zipf_s
+
+    def test_shocks_occur_with_high_probability_config(self, rng):
+        schema = random_schema(rng, n_features=3)
+        config = DriftConfig(shock_probability=0.5)
+        process = DriftProcess(schema, rng, config)
+        for _ in range(100):
+            process.step()
+        assert process.shock_count > 10
+
+    def test_no_shocks_when_disabled(self, rng):
+        schema = random_schema(rng, n_features=3)
+        config = DriftConfig(shock_probability=0.0)
+        process = DriftProcess(schema, rng, config)
+        for _ in range(100):
+            process.step()
+        assert process.shock_count == 0
+
+    def test_numeric_mixture_weight_stays_valid(self, rng):
+        schema = random_schema(rng, n_features=20,
+                               categorical_fraction=0.0)
+        process = DriftProcess(schema, rng,
+                               DriftConfig(numeric_weight_step=0.5))
+        for _ in range(50):
+            drifted = process.step()
+        for spec in drifted:
+            assert 0.0 <= spec.numeric.mode_weight <= 0.5

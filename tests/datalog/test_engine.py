@@ -1,0 +1,149 @@
+"""Datalog engine tests: recursion, negation, stratification, safety."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Program,
+    Rule,
+    StratificationError,
+    Variable,
+    evaluate,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _edges(program, pairs):
+    for a, b in pairs:
+        program.add_fact("edge", a, b)
+
+
+class TestBasics:
+    def test_facts_pass_through(self):
+        program = Program()
+        program.add_fact("node", 1)
+        assert evaluate(program)["node"] == {(1,)}
+
+    def test_simple_projection_rule(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3)])
+        program.add_rule(Atom("source", (X,)), Atom("edge", (X, Y)))
+        assert evaluate(program)["source"] == {(1,), (2,)}
+
+    def test_join_two_atoms(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3), (3, 4)])
+        program.add_rule(Atom("two_hop", (X, Z)),
+                         Atom("edge", (X, Y)), Atom("edge", (Y, Z)))
+        assert evaluate(program)["two_hop"] == {(1, 3), (2, 4)}
+
+    def test_constants_in_body(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3)])
+        program.add_rule(Atom("from_one", (Y,)), Atom("edge", (1, Y)))
+        assert evaluate(program)["from_one"] == {(2,)}
+
+    def test_repeated_variable_forces_equality(self):
+        program = Program()
+        _edges(program, [(1, 1), (1, 2)])
+        program.add_rule(Atom("self_loop", (X,)), Atom("edge", (X, X)))
+        assert evaluate(program)["self_loop"] == {(1,)}
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3), (3, 4)])
+        program.add_rule(Atom("path", (X, Y)), Atom("edge", (X, Y)))
+        program.add_rule(Atom("path", (X, Z)),
+                         Atom("edge", (X, Y)), Atom("path", (Y, Z)))
+        expected = {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+        assert evaluate(program)["path"] == expected
+
+    def test_cycle_terminates(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 1)])
+        program.add_rule(Atom("path", (X, Y)), Atom("edge", (X, Y)))
+        program.add_rule(Atom("path", (X, Z)),
+                         Atom("edge", (X, Y)), Atom("path", (Y, Z)))
+        assert evaluate(program)["path"] == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_mutual_recursion(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3), (3, 4), (4, 5)])
+        program.add_rule(Atom("even", (X,)), Atom("start", (X,)))
+        program.add_fact("start", 1)
+        program.add_rule(Atom("odd", (Y,)),
+                         Atom("even", (X,)), Atom("edge", (X, Y)))
+        program.add_rule(Atom("even", (Y,)),
+                         Atom("odd", (X,)), Atom("edge", (X, Y)))
+        result = evaluate(program)
+        assert result["even"] == {(1,), (3,), (5,)}
+        assert result["odd"] == {(2,), (4,)}
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3)])
+        program.add_fact("node", 1)
+        program.add_fact("node", 2)
+        program.add_fact("node", 3)
+        program.add_rule(Atom("has_out", (X,)), Atom("edge", (X, Y)))
+        program.add_rule(Atom("sink", (X,)), Atom("node", (X,)),
+                         Atom("has_out", (X,), negated=True))
+        assert evaluate(program)["sink"] == {(3,)}
+
+    def test_negation_of_edb(self):
+        program = Program()
+        _edges(program, [(1, 2)])
+        program.add_fact("node", 1)
+        program.add_fact("node", 2)
+        program.add_rule(
+            Atom("no_self", (X,)), Atom("node", (X,)),
+            Atom("edge", (X, X), negated=True))
+        assert evaluate(program)["no_self"] == {(1,), (2,)}
+
+    def test_unstratifiable_program_rejected(self):
+        program = Program()
+        program.add_fact("node", 1)
+        program.add_rule(Atom("p", (X,)), Atom("node", (X,)),
+                         Atom("q", (X,), negated=True))
+        program.add_rule(Atom("q", (X,)), Atom("node", (X,)),
+                         Atom("p", (X,), negated=True))
+        with pytest.raises(StratificationError):
+            evaluate(program)
+
+    def test_negation_then_recursion_across_strata(self):
+        program = Program()
+        _edges(program, [(1, 2), (2, 3), (4, 5)])
+        program.add_fact("blocked", 4)
+        program.add_rule(Atom("ok_edge", (X, Y)), Atom("edge", (X, Y)),
+                         Atom("blocked", (X,), negated=True))
+        program.add_rule(Atom("reach", (X, Y)), Atom("ok_edge", (X, Y)))
+        program.add_rule(Atom("reach", (X, Z)),
+                         Atom("reach", (X, Y)), Atom("ok_edge", (Y, Z)))
+        assert (4, 5) not in evaluate(program)["reach"]
+        assert (1, 3) in evaluate(program)["reach"]
+
+
+class TestSafety:
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (X,)), (Atom("q", (Y,), negated=True),))
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (X,), negated=True), (Atom("q", (X,)),))
+
+    def test_fact_with_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (X,)))
+
+    def test_arity_mismatch_rows_skipped(self):
+        program = Program()
+        program.add_fact("r", 1)
+        program.add_fact("r", 1, 2)
+        program.add_rule(Atom("p", (X, Y)), Atom("r", (X, Y)))
+        assert evaluate(program)["p"] == {(1, 2)}

@@ -1,0 +1,73 @@
+"""Property-based Datalog tests against networkx reference algorithms."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Atom, Program, Variable, evaluate
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)),
+    min_size=0, max_size=40,
+)
+
+
+def _closure_program(edges):
+    program = Program()
+    for a, b in edges:
+        program.add_fact("edge", a, b)
+    program.add_rule(Atom("path", (X, Y)), Atom("edge", (X, Y)))
+    program.add_rule(Atom("path", (X, Z)),
+                     Atom("edge", (X, Y)), Atom("path", (Y, Z)))
+    return program
+
+
+class TestTransitiveClosure:
+    @given(edge_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx(self, edges):
+        result = evaluate(_closure_program(edges)).get("path", set())
+        graph = nx.DiGraph(edges)
+        expected = set()
+        for source in graph.nodes:
+            lengths = nx.single_source_shortest_path_length(graph, source)
+            expected.update((source, target) for target, d in
+                            lengths.items() if d > 0)
+        # Self-loops reachable through cycles are also paths.
+        for source in graph.nodes:
+            for neighbor in graph.successors(source):
+                if source in nx.descendants(graph, neighbor) \
+                        or neighbor == source:
+                    expected.add((source, source))
+        assert result == expected
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_facts(self, edges):
+        """Adding facts can only grow the fixpoint (monotonicity)."""
+        if not edges:
+            return
+        smaller = evaluate(_closure_program(edges[:-1])).get("path", set())
+        larger = evaluate(_closure_program(edges)).get("path", set())
+        assert smaller <= larger
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_negation_partitions_nodes(self, edges):
+        """sink ∪ has_out == all nodes; sink ∩ has_out == empty."""
+        program = Program()
+        nodes = {n for pair in edges for n in pair}
+        for node in nodes:
+            program.add_fact("node", node)
+        for a, b in edges:
+            program.add_fact("edge", a, b)
+        program.add_rule(Atom("has_out", (X,)), Atom("edge", (X, Y)))
+        program.add_rule(Atom("sink", (X,)), Atom("node", (X,)),
+                         Atom("has_out", (X,), negated=True))
+        result = evaluate(program)
+        sinks = {row[0] for row in result.get("sink", set())}
+        has_out = {row[0] for row in result.get("has_out", set())}
+        assert sinks | has_out == nodes
+        assert not (sinks & has_out)

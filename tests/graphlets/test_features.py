@@ -1,0 +1,102 @@
+"""Graphlet shape-feature tests and span-pair cache tests."""
+
+import pytest
+
+from repro.graphlets import (
+    STAGE_POST,
+    STAGE_PRE,
+    STAGE_TRAINER,
+    graphlet_shape,
+    stage_of_group,
+)
+from repro.similarity import SpanPairCache, sequence_similarity
+
+
+class TestStageMapping:
+    @pytest.mark.parametrize("group,stage", [
+        ("data_ingestion", STAGE_PRE),
+        ("data_analysis_validation", STAGE_PRE),
+        ("data_preprocessing", STAGE_PRE),
+        ("custom", STAGE_PRE),
+        ("training", STAGE_TRAINER),
+        ("model_analysis_validation", STAGE_POST),
+        ("model_deployment", STAGE_POST),
+    ])
+    def test_group_to_stage(self, group, stage):
+        assert stage_of_group(group) == stage
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError):
+            stage_of_group("nonsense")
+
+
+class TestGraphletShape:
+    def test_shape_partitions_cover_all_executions(self, small_graphlets):
+        graphlets = next(iter(small_graphlets.values()))
+        graphlet = graphlets[0]
+        shape = graphlet_shape(graphlet)
+        total_by_op = sum(s.count for s in shape.by_operator.values())
+        total_by_stage = sum(
+            s.count
+            for stage in shape.by_stage.values()
+            for s in stage.values())
+        assert total_by_op == len(graphlet.execution_ids)
+        assert total_by_stage == total_by_op
+
+    def test_trainer_always_in_trainer_stage(self, small_graphlets):
+        for graphlets in list(small_graphlets.values())[:5]:
+            for graphlet in graphlets[:3]:
+                shape = graphlet_shape(graphlet)
+                assert "Trainer" in shape.by_stage.get(STAGE_TRAINER, {})
+
+    def test_avg_counts_non_negative(self, small_graphlets):
+        graphlet = next(iter(small_graphlets.values()))[0]
+        shape = graphlet_shape(graphlet)
+        for op_shape in shape.by_operator.values():
+            assert op_shape.avg_inputs >= 0
+            assert op_shape.avg_outputs >= 0
+
+    def test_stage_feature_dict_keys(self, small_graphlets):
+        graphlet = next(iter(small_graphlets.values()))[0]
+        shape = graphlet_shape(graphlet)
+        features = shape.stage_feature_dict({STAGE_PRE})
+        assert any(key.endswith("_count") for key in features)
+        assert any(key.endswith("_avg_in") for key in features)
+
+
+class TestSpanPairCache:
+    def test_cache_matches_uncached(self, small_graphlets):
+        cache = SpanPairCache()
+        graphlets = next(g for g in small_graphlets.values()
+                         if len(g) >= 2)
+        a, b = graphlets[0], graphlets[1]
+        ids_a, seq_a = a.span_sequence_with_ids()
+        ids_b, seq_b = b.span_sequence_with_ids()
+        cached = cache.sequence_similarity(ids_a, seq_a, ids_b, seq_b)
+        direct = sequence_similarity(seq_a, seq_b)
+        assert cached == pytest.approx(direct)
+
+    def test_identical_ids_short_circuit(self, small_graphlets):
+        cache = SpanPairCache()
+        graphlet = next(iter(small_graphlets.values()))[0]
+        ids, seq = graphlet.span_sequence_with_ids()
+        assert cache.sequence_similarity(ids, seq, ids, seq) == \
+            pytest.approx(1.0)
+        # Same-artifact pairs never enter the cache.
+        assert cache.size == 0
+
+    def test_cache_grows_only_with_new_pairs(self, small_graphlets):
+        cache = SpanPairCache()
+        graphlets = next(g for g in small_graphlets.values()
+                         if len(g) >= 3)
+        pairs = list(zip(graphlets, graphlets[1:]))
+        for a, b in pairs:
+            ids_a, seq_a = a.span_sequence_with_ids()
+            ids_b, seq_b = b.span_sequence_with_ids()
+            cache.sequence_similarity(ids_a, seq_a, ids_b, seq_b)
+        size_after_first = cache.size
+        for a, b in pairs:  # Recomputing adds nothing.
+            ids_a, seq_a = a.span_sequence_with_ids()
+            ids_b, seq_b = b.span_sequence_with_ids()
+            cache.sequence_similarity(ids_a, seq_a, ids_b, seq_b)
+        assert cache.size == size_after_first

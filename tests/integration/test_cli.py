@@ -1,0 +1,51 @@
+"""CLI tests (generate → report / waste / summarize)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def cli_corpus(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.db"
+    code = main(["generate", "--pipelines", "14", "--seed", "5",
+                 "--max-graphlets", "16", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.pipelines == 60
+        assert args.out == "corpus.db"
+
+
+class TestCommands:
+    def test_generate_creates_db(self, cli_corpus):
+        assert cli_corpus.exists()
+        assert cli_corpus.stat().st_size > 0
+
+    def test_report_runs(self, cli_corpus, capsys):
+        assert main(["report", str(cli_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "model mix" in out
+        assert "similarity" in out
+
+    def test_summarize_whole_corpus(self, cli_corpus, capsys):
+        assert main(["summarize", str(cli_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "Trainer" in out
+
+    def test_summarize_unknown_pipeline(self, cli_corpus, capsys):
+        assert main(["summarize", str(cli_corpus),
+                     "--pipeline", "nope"]) == 1
+
+    def test_waste_runs(self, cli_corpus, capsys):
+        assert main(["waste", str(cli_corpus), "--trees", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "RF:Validation" in out

@@ -1,0 +1,221 @@
+"""Metric and model-selection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    OneHotEncoder,
+    StandardScaler,
+    accuracy,
+    auc,
+    balanced_accuracy,
+    class_balance,
+    confusion_counts,
+    false_positive_rate,
+    grouped_train_test_split,
+    log_loss,
+    roc_auc,
+    roc_curve,
+    train_test_split,
+    true_positive_rate,
+)
+
+
+class TestBalancedAccuracy:
+    def test_perfect_prediction(self):
+        y = np.array([0, 0, 1, 1])
+        assert balanced_accuracy(y, y) == 1.0
+
+    def test_majority_prediction_is_half(self):
+        y_true = np.array([0] * 80 + [1] * 20)
+        y_pred = np.zeros(100, dtype=int)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_weighs_classes_equally(self):
+        # 90% accuracy on negatives, 50% on positives → 0.7 balanced.
+        y_true = np.array([0] * 100 + [1] * 10)
+        y_pred = np.array([0] * 90 + [1] * 10 + [1] * 5 + [0] * 5)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_accuracy(np.array([0]), np.array([0, 1]))
+
+
+class TestConfusionAndRates:
+    def test_counts(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        assert confusion_counts(y_true, y_pred) == (1, 1, 1, 2)
+
+    def test_rates(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        assert true_positive_rate(y_true, y_pred) == pytest.approx(2 / 3)
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(1 / 2)
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+
+class TestRoc:
+    def test_perfect_scores_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, scores) == pytest.approx(1.0)
+
+    def test_reversed_scores_auc_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self, rng):
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_starts_at_origin_ends_at_one(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.4, 0.3, 0.2, 0.9])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert np.isinf(thresholds[0])
+
+    def test_tied_scores_collapse_to_one_point(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.full(4, 0.5)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert len(fpr) == 2  # origin + single threshold point
+
+    @given(st.lists(st.tuples(st.integers(0, 1),
+                              st.floats(0, 1, allow_nan=False)),
+                    min_size=4, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_curve_monotone(self, pairs):
+        y = np.array([p[0] for p in pairs])
+        if len(set(y)) < 2:
+            y[0], y[1] = 0, 1
+        scores = np.array([p[1] for p in pairs])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert (np.diff(fpr) >= -1e-12).all()
+        assert (np.diff(tpr) >= -1e-12).all()
+
+    def test_auc_trapezoid(self):
+        assert auc(np.array([0.0, 1.0]), np.array([0.0, 1.0])) == \
+            pytest.approx(0.5)
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        value = log_loss(np.array([1, 0]), np.array([0.99, 0.01]))
+        assert value < 0.02
+
+    def test_confident_wrong_is_large(self):
+        value = log_loss(np.array([1, 0]), np.array([0.01, 0.99]))
+        assert value > 4.0
+
+
+class TestSplits:
+    def test_train_test_split_partitions(self, rng):
+        train, test = train_test_split(100, 0.2, rng)
+        assert len(train) + len(test) == 100
+        assert set(train).isdisjoint(test)
+        assert len(test) == 20
+
+    def test_train_test_split_validates(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.5, rng)
+
+    def test_grouped_split_keeps_groups_whole(self, rng):
+        groups = [i // 10 for i in range(100)]
+        train, test = grouped_train_test_split(groups, 0.8, rng)
+        train_groups = {groups[i] for i in train}
+        test_groups = {groups[i] for i in test}
+        assert train_groups.isdisjoint(test_groups)
+
+    def test_grouped_split_targets_row_weight(self, rng):
+        groups = [i // 5 for i in range(500)]
+        train, test = grouped_train_test_split(groups, 0.8, rng)
+        assert 0.7 <= len(train) / 500 <= 0.9
+
+    def test_grouped_split_never_empty_test(self, rng):
+        groups = [0] * 50 + [1] * 2
+        train, test = grouped_train_test_split(groups, 0.8, rng)
+        assert len(test) > 0
+
+    def test_class_balance(self):
+        balance = class_balance([1, 1, 0, 0, 0])
+        assert balance[0] == pytest.approx(0.6)
+        assert balance[1] == pytest.approx(0.4)
+        assert class_balance([]) == {}
+
+
+class TestPreprocessing:
+    def test_one_hot_roundtrip(self):
+        encoder = OneHotEncoder().fit([["a", "x"], ["b", "y"]])
+        out = encoder.transform([["a", "y"]])
+        assert out.tolist() == [[1.0, 0.0, 0.0, 1.0]]
+
+    def test_one_hot_unknown_category_all_zero(self):
+        encoder = OneHotEncoder().fit([["a"]])
+        assert encoder.transform([["zzz"]]).tolist() == [[0.0]]
+
+    def test_one_hot_feature_names(self):
+        encoder = OneHotEncoder().fit([["a"], ["b"]])
+        assert encoder.feature_names == ["col0=a", "col0=b"]
+
+    def test_one_hot_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder().fit([])
+
+    def test_one_hot_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform([["a"]])
+
+    def test_scaler_standardizes(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 2))
+        out = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_constant_column_safe(self):
+        x = np.ones((10, 1))
+        out = StandardScaler().fit_transform(x)
+        assert np.isfinite(out).all()
+
+
+class TestGroupedKFold:
+    def test_folds_partition_rows(self, rng):
+        from repro.ml import grouped_k_fold
+        groups = [i // 4 for i in range(40)]
+        seen = []
+        for train, test in grouped_k_fold(groups, 5, rng):
+            assert set(train).isdisjoint(test)
+            assert len(train) + len(test) == 40
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(40))
+
+    def test_groups_never_split(self, rng):
+        from repro.ml import grouped_k_fold
+        groups = [i // 3 for i in range(30)]
+        for train, test in grouped_k_fold(groups, 3, rng):
+            train_groups = {groups[i] for i in train}
+            test_groups = {groups[i] for i in test}
+            assert train_groups.isdisjoint(test_groups)
+
+    def test_validations(self, rng):
+        from repro.ml import grouped_k_fold
+        import pytest
+        with pytest.raises(ValueError):
+            list(grouped_k_fold([1, 2, 3], 1, rng))
+        with pytest.raises(ValueError):
+            list(grouped_k_fold([], 2, rng))
+        with pytest.raises(ValueError):
+            list(grouped_k_fold([1, 1, 1], 2, rng))

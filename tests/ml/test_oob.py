@@ -1,0 +1,54 @@
+"""Out-of-bag estimation tests for the Random Forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier, roc_auc
+
+
+@pytest.fixture()
+def task(rng):
+    x = rng.normal(size=(500, 5))
+    y = (x[:, 0] + 0.5 * x[:, 1] + rng.normal(0, 0.5, 500) > 0).astype(int)
+    return x, y
+
+
+class TestOob:
+    def test_oob_disabled_by_default(self, task):
+        x, y = task
+        forest = RandomForestClassifier(n_estimators=10,
+                                        random_state=0).fit(x, y)
+        assert forest.oob_decision_function_ is None
+
+    def test_oob_shape_and_rows_sum_to_one(self, task):
+        x, y = task
+        forest = RandomForestClassifier(n_estimators=20, oob_score=True,
+                                        random_state=0).fit(x, y)
+        oob = forest.oob_decision_function_
+        assert oob.shape == (len(x), 2)
+        np.testing.assert_allclose(oob.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_oob_requires_bootstrap(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(bootstrap=False, oob_score=True)
+
+    def test_oob_less_optimistic_than_in_bag(self, task):
+        """OOB AUC must not exceed the memorized in-bag AUC (on noisy
+        labels, in-bag estimates are inflated)."""
+        x, y = task
+        forest = RandomForestClassifier(n_estimators=40, oob_score=True,
+                                        random_state=0).fit(x, y)
+        in_bag = roc_auc(y, forest.predict_proba(x)[:, 1])
+        oob = roc_auc(y, forest.oob_decision_function_[:, 1])
+        assert oob <= in_bag + 1e-9
+
+    def test_oob_tracks_generalization(self, rng, task):
+        """OOB AUC approximates held-out AUC far better than in-bag."""
+        x, y = task
+        forest = RandomForestClassifier(n_estimators=40, oob_score=True,
+                                        random_state=0)
+        forest.fit(x[:350], y[:350])
+        holdout = roc_auc(y[350:], forest.predict_proba(x[350:])[:, 1])
+        oob = roc_auc(y[:350], forest.oob_decision_function_[:, 1])
+        in_bag = roc_auc(y[:350], forest.predict_proba(x[:350])[:, 1])
+        assert abs(oob - holdout) < abs(in_bag - holdout)

@@ -1,0 +1,90 @@
+"""SQLite round-trip tests."""
+
+import pytest
+
+from repro.mlmd import (
+    Artifact,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    ExecutionState,
+    MetadataStore,
+    load_store,
+    save_store,
+)
+
+
+@pytest.fixture()
+def populated_store():
+    store = MetadataStore()
+    context_id = store.put_context(Context(type_name="Pipeline", name="p",
+                                           properties={"team": "ads"}))
+    span_id = store.put_artifact(Artifact(
+        type_name="DataSpan", name="s1", uri="/data/s1", create_time=3.0,
+        properties={"span_id": 1, "digest_hashes": [4, -2]}))
+    run_id = store.put_execution(Execution(
+        type_name="Trainer", state=ExecutionState.COMPLETE,
+        start_time=3.0, end_time=5.5,
+        properties={"cpu_hours": 7.25, "group": "training"}))
+    store.put_event(Event(span_id, run_id, EventType.INPUT, time=3.0))
+    model_id = store.put_artifact(Artifact(type_name="Model",
+                                           create_time=5.5))
+    store.put_event(Event(model_id, run_id, EventType.OUTPUT, time=5.5))
+    store.put_attribution(context_id, span_id)
+    store.put_attribution(context_id, model_id)
+    store.put_association(context_id, run_id)
+    return store
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        loaded = load_store(path)
+        assert loaded.num_artifacts == populated_store.num_artifacts
+        assert loaded.num_executions == populated_store.num_executions
+        assert loaded.num_events == populated_store.num_events
+
+    def test_properties_preserved(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        loaded = load_store(path)
+        span = loaded.get_artifact_by_name("DataSpan", "s1")
+        assert span.get("digest_hashes") == [4, -2]
+        assert span.uri == "/data/s1"
+
+    def test_execution_state_and_times(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        loaded = load_store(path)
+        trainer = loaded.get_executions("Trainer")[0]
+        assert trainer.state is ExecutionState.COMPLETE
+        assert trainer.duration == pytest.approx(2.5)
+        assert trainer.get("cpu_hours") == pytest.approx(7.25)
+
+    def test_lineage_preserved(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        loaded = load_store(path)
+        trainer = loaded.get_executions("Trainer")[0]
+        inputs = loaded.get_input_artifacts(trainer.id)
+        outputs = loaded.get_output_artifacts(trainer.id)
+        assert [a.type_name for a in inputs] == ["DataSpan"]
+        assert [a.type_name for a in outputs] == ["Model"]
+
+    def test_context_membership_preserved(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        loaded = load_store(path)
+        context = loaded.get_contexts("Pipeline")[0]
+        assert context.get("team") == "ads" or \
+            context.properties.get("team") == "ads"
+        assert len(loaded.get_artifacts_by_context(context.id)) == 2
+        assert len(loaded.get_executions_by_context(context.id)) == 1
+
+    def test_overwrites_existing_file(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        save_store(MetadataStore(), path)
+        assert load_store(path).num_artifacts == 0

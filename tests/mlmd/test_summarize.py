@@ -1,0 +1,126 @@
+"""Trace summarization and reachability-query tests."""
+
+import pytest
+
+from repro.mlmd import (
+    Artifact,
+    Event,
+    EventType,
+    Execution,
+    MetadataStore,
+    artifact_node,
+    execution_node,
+    impact_set,
+    provenance_path,
+    reachable,
+    summarize_by_type,
+)
+from repro.mlmd.summarize import TraceNode
+
+
+@pytest.fixture()
+def chain_store():
+    """span -> Trainer -> model -> Pusher -> pushed."""
+    store = MetadataStore()
+    span = store.put_artifact(Artifact(type_name="DataSpan"))
+    trainer = store.put_execution(Execution(type_name="Trainer"))
+    store.put_event(Event(span, trainer, EventType.INPUT))
+    model = store.put_artifact(Artifact(type_name="Model"))
+    store.put_event(Event(model, trainer, EventType.OUTPUT))
+    pusher = store.put_execution(Execution(type_name="Pusher"))
+    store.put_event(Event(model, pusher, EventType.INPUT))
+    pushed = store.put_artifact(Artifact(type_name="PushedModel"))
+    store.put_event(Event(pushed, pusher, EventType.OUTPUT))
+    return store, span, trainer, model, pusher, pushed
+
+
+class TestTypeSummary:
+    def test_counts(self, chain_store):
+        store = chain_store[0]
+        summary = summarize_by_type(store)
+        assert summary.artifact_counts == {
+            "DataSpan": 1, "Model": 1, "PushedModel": 1}
+        assert summary.execution_counts == {"Trainer": 1, "Pusher": 1}
+
+    def test_edge_multiplicities(self, chain_store):
+        store = chain_store[0]
+        summary = summarize_by_type(store)
+        assert summary.edge_counts[("DataSpan", "Trainer")] == 1
+        assert summary.edge_counts[("Trainer", "Model")] == 1
+        assert summary.edge_counts[("Model", "Pusher")] == 1
+
+    def test_summary_size_bounded_by_types(self, small_corpus):
+        store = small_corpus.store
+        summary = summarize_by_type(store)
+        # Thousands of nodes collapse to a handful of types.
+        assert summary.node_count < 30
+        assert store.num_artifacts > summary.node_count
+
+    def test_per_context_summary(self, small_corpus):
+        context = small_corpus.production_context_ids[0]
+        summary = summarize_by_type(small_corpus.store, context)
+        assert summary.execution_counts.get("Trainer", 0) >= 1
+
+    def test_render(self, chain_store):
+        out = summarize_by_type(chain_store[0]).render()
+        assert "Trainer" in out and "->" in out
+
+
+class TestReachability:
+    def test_span_reaches_pushed_model(self, chain_store):
+        store, span, _, _, _, pushed = chain_store
+        assert reachable(store, artifact_node(span),
+                         artifact_node(pushed))
+
+    def test_no_backward_reachability(self, chain_store):
+        store, span, _, _, _, pushed = chain_store
+        assert not reachable(store, artifact_node(pushed),
+                             artifact_node(span))
+
+    def test_path_alternates_kinds(self, chain_store):
+        store, span, trainer, model, pusher, pushed = chain_store
+        path = provenance_path(store, artifact_node(span),
+                               artifact_node(pushed))
+        assert [n.kind for n in path] == [
+            "artifact", "execution", "artifact", "execution", "artifact"]
+        assert path[1].node_id == trainer
+        assert path[3].node_id == pusher
+
+    def test_path_to_self(self, chain_store):
+        store, span, *_ = chain_store
+        assert provenance_path(store, artifact_node(span),
+                               artifact_node(span)) == [artifact_node(span)]
+
+    def test_unreachable_returns_none(self, chain_store):
+        store, span, *_ = chain_store
+        orphan = store.put_artifact(Artifact(type_name="DataSpan"))
+        assert provenance_path(store, artifact_node(span),
+                               artifact_node(orphan)) is None
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceNode("thing", 1)
+
+
+class TestImpactSet:
+    def test_blast_radius_of_span(self, chain_store):
+        store, span, _, model, _, pushed = chain_store
+        assert impact_set(store, artifact_node(span)) == {model, pushed}
+
+    def test_filtered_by_type(self, chain_store):
+        store, span, _, model, _, pushed = chain_store
+        assert impact_set(store, artifact_node(span),
+                          artifact_type="PushedModel") == {pushed}
+
+    def test_corpus_span_impacts_models(self, small_corpus):
+        store = small_corpus.store
+        span = store.get_artifacts("DataSpan")[0]
+        models = impact_set(store, artifact_node(span.id),
+                            artifact_type="Model")
+        # The first span feeds at least one trained model via its window.
+        assert isinstance(models, set)
+
+    def test_execution_source(self, chain_store):
+        store, _, trainer, model, _, pushed = chain_store
+        assert impact_set(store, execution_node(trainer)) == {model,
+                                                              pushed}

@@ -1,0 +1,60 @@
+"""Rendering tests for tables and ASCII plots."""
+
+from repro.reporting import (
+    bar_chart,
+    curve,
+    format_table,
+    histogram,
+    paper_vs_measured,
+)
+
+
+class TestTables:
+    def test_basic_table_alignment(self):
+        out = format_table(("name", "value"), [("a", 1.5), ("bb", 2.0)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.500" in out
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_title_included(self):
+        out = format_table(("x",), [(1,)], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_paper_vs_measured_ratio(self):
+        out = paper_vs_measured([("metric", 2.0, 1.0)])
+        assert "0.500" in out
+
+    def test_paper_zero_safe(self):
+        out = paper_vs_measured([("metric", 0.0, 1.0)])
+        assert "nan" in out
+
+
+class TestPlots:
+    def test_bar_chart_renders_all_items(self):
+        out = bar_chart({"alpha": 1.0, "beta": 0.5})
+        assert "alpha" in out and "beta" in out
+        assert out.count("#") > 0
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_histogram_counts(self):
+        out = histogram([1, 1, 2, 3, 10], bins=3)
+        assert out.count("|") == 3
+
+    def test_histogram_log_bins(self):
+        out = histogram([1, 10, 100, 1000], bins=3, log=True)
+        assert "|" in out
+
+    def test_histogram_empty(self):
+        assert "(no data)" in histogram([])
+
+    def test_curve_grid(self):
+        points = [(x / 10, (x / 10) ** 2) for x in range(11)]
+        out = curve(points, width=20, height=5, title="sq")
+        assert out.startswith("sq")
+        assert "*" in out
+
+    def test_curve_empty(self):
+        assert "(no data)" in curve([])

@@ -1,0 +1,45 @@
+"""Additional reporting edge cases."""
+
+from repro.reporting import curve, format_table, histogram
+
+
+class TestFormatTableEdges:
+    def test_mixed_types_render(self):
+        out = format_table(("a", "b", "c"),
+                           [(1, "text", 2.34567), (None, True, 0.0)])
+        assert "2.346" in out
+        assert "None" in out
+        assert "True" in out
+
+    def test_custom_float_format(self):
+        out = format_table(("x",), [(0.123456,)], float_format="{:.1f}")
+        assert "0.1" in out
+        assert "0.123" not in out
+
+    def test_empty_rows(self):
+        out = format_table(("col",), [])
+        assert "col" in out
+
+
+class TestHistogramEdges:
+    def test_single_value(self):
+        out = histogram([5.0, 5.0, 5.0], bins=4)
+        assert out.count("|") == 4
+
+    def test_log_with_nonpositive_filtered(self):
+        out = histogram([-1.0, 0.0, 1.0, 10.0], bins=2, log=True)
+        assert "|" in out
+
+    def test_log_all_nonpositive(self):
+        assert "no positive data" in histogram([-1.0, 0.0], log=True)
+
+
+class TestCurveEdges:
+    def test_single_point(self):
+        out = curve([(0.5, 0.5)], width=10, height=4)
+        assert "*" in out
+
+    def test_constant_y(self):
+        out = curve([(x / 10, 1.0) for x in range(11)], width=20,
+                    height=4)
+        assert "*" in out

@@ -1,0 +1,51 @@
+"""Trace-rendering tests."""
+
+import pytest
+
+from repro.reporting import render_graphlet, render_trace
+
+
+class TestRenderTrace:
+    def test_small_corpus_trace_renders(self, small_corpus):
+        context = small_corpus.production_context_ids[0]
+        out = render_trace(small_corpus.store, context, max_nodes=30)
+        assert "ExampleGen" in out
+        assert "=>" in out
+        assert "DataSpan#" in out
+
+    def test_temporal_order(self, small_corpus):
+        context = small_corpus.production_context_ids[0]
+        out = render_trace(small_corpus.store, context, max_nodes=50)
+        times = [float(line.split("h")[0].split("=")[1])
+                 for line in out.splitlines() if line.startswith("t=")]
+        assert times == sorted(times)
+
+    def test_truncation_marker(self, small_corpus):
+        context = small_corpus.production_context_ids[0]
+        out = render_trace(small_corpus.store, context, max_nodes=3)
+        assert "more executions" in out
+
+    def test_failed_executions_marked(self, small_corpus):
+        out = render_trace(small_corpus.store)
+        # The corpus injects failures; at least one should be visible.
+        assert "FAIL" in out
+
+
+class TestRenderGraphlet:
+    def test_graphlet_renders(self, small_graphlets):
+        graphlet = next(iter(small_graphlets.values()))[0]
+        out = render_graphlet(graphlet)
+        assert "graphlet around Trainer[" in out
+        assert " *" in out  # the central trainer is marked
+        assert ("pushed" in out) or ("unpushed" in out)
+
+    def test_cut_models_not_listed(self, small_graphlets):
+        # Foreign models (warm-start sources) are excluded from the
+        # graphlet's artifacts, so they never appear in the rendering.
+        for graphlets in small_graphlets.values():
+            for graphlet in graphlets[:2]:
+                out = render_graphlet(graphlet)
+                for line in out.splitlines():
+                    if "Trainer[" in line and "=>" in line and \
+                            "graphlet around" not in line:
+                        assert "Model" in line or "(nothing)" in line

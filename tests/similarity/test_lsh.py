@@ -1,0 +1,110 @@
+"""S2JSD metric and LSH tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import S2JSDHasher, s2jsd
+
+probability_vectors = st.lists(
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    min_size=10, max_size=10,
+).map(lambda xs: np.asarray(xs) / np.sum(xs))
+
+
+class TestS2JSD:
+    def test_identical_distributions_zero(self):
+        p = np.full(10, 0.1)
+        assert s2jsd(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_distributions_maximal(self):
+        p = np.zeros(10)
+        p[0] = 1.0
+        q = np.zeros(10)
+        q[9] = 1.0
+        # JSD of disjoint distributions is ln 2 → metric sqrt(2 ln 2).
+        assert s2jsd(p, q) == pytest.approx(np.sqrt(2 * np.log(2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            s2jsd(np.ones(3) / 3, np.ones(4) / 4)
+
+    @given(probability_vectors, probability_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, p, q):
+        assert s2jsd(p, q) == pytest.approx(s2jsd(q, p))
+
+    @given(probability_vectors, probability_vectors,
+           probability_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, p, q, r):
+        # S2JSD is a metric (Endres & Schindelin); check numerically.
+        assert s2jsd(p, r) <= s2jsd(p, q) + s2jsd(q, r) + 1e-9
+
+    @given(probability_vectors, probability_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative(self, p, q):
+        assert s2jsd(p, q) >= 0.0
+
+
+class TestHasher:
+    def test_same_distribution_same_bucket(self):
+        hasher = S2JSDHasher()
+        p = np.full(10, 0.1)
+        assert hasher.hash(p) == hasher.hash(p)
+
+    def test_same_seed_same_function(self):
+        p = np.random.default_rng(0).dirichlet(np.ones(10))
+        assert S2JSDHasher(seed=3).hash(p) == S2JSDHasher(seed=3).hash(p)
+
+    def test_different_seed_may_differ(self):
+        rng = np.random.default_rng(0)
+        ps = [rng.dirichlet(np.ones(10)) for _ in range(50)]
+        a = [S2JSDHasher(seed=1).hash(p) for p in ps]
+        b = [S2JSDHasher(seed=2).hash(p) for p in ps]
+        assert a != b
+
+    def test_locality_close_collide_more_than_far(self):
+        rng = np.random.default_rng(1)
+        hasher = S2JSDHasher(width=0.1)
+        base = rng.dirichlet(np.ones(10) * 5, size=200)
+        near = base + rng.normal(0, 0.002, base.shape)
+        near = np.abs(near)
+        near /= near.sum(axis=1, keepdims=True)
+        far = rng.dirichlet(np.ones(10) * 5, size=200)
+        near_collisions = np.mean(
+            hasher.hash_many(base) == hasher.hash_many(near))
+        far_collisions = np.mean(
+            hasher.hash_many(base) == hasher.hash_many(far))
+        assert near_collisions > far_collisions
+
+    def test_unnormalized_input_normalized(self):
+        hasher = S2JSDHasher()
+        p = np.full(10, 0.1)
+        assert hasher.hash(p) == hasher.hash(p * 7)
+
+    def test_zero_vector_treated_uniform(self):
+        hasher = S2JSDHasher()
+        assert hasher.hash(np.zeros(10)) == hasher.hash(np.full(10, 0.1))
+
+    def test_hash_many_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        hasher = S2JSDHasher()
+        mat = rng.dirichlet(np.ones(10), size=20)
+        many = hasher.hash_many(mat)
+        singles = [hasher.hash(row) for row in mat]
+        assert many.tolist() == singles
+
+    def test_dimension_checked(self):
+        hasher = S2JSDHasher(dim=10)
+        with pytest.raises(ValueError):
+            hasher.hash(np.ones(5) / 5)
+        with pytest.raises(ValueError):
+            hasher.hash_many(np.ones((3, 5)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            S2JSDHasher(dim=0)
+        with pytest.raises(ValueError):
+            S2JSDHasher(width=0.0)

@@ -1,0 +1,164 @@
+"""Appendix-B similarity metric tests: Eq. 2, EMD transport, Eq. 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import random_schema, synthetic_span
+from repro.similarity import (
+    FeatureDigest,
+    SpanDigest,
+    bipartite_similarity,
+    digest_span,
+    feature_similarity,
+    jaccard_similarity,
+    sequence_similarity,
+    span_similarity,
+    span_similarity_exact,
+)
+
+
+def _feature(name, cat=False, h=0):
+    return FeatureDigest(name=name, is_categorical=cat, dist_hash=h)
+
+
+class TestFeatureSimilarity:
+    def test_full_match(self):
+        f = _feature("a", True, 3)
+        assert feature_similarity(f, f, alpha=0.5, beta=0.5) == 1.0
+
+    def test_type_mismatch_is_zero(self):
+        assert feature_similarity(_feature("a", True, 3),
+                                  _feature("a", False, 3)) == 0.0
+
+    def test_hash_only(self):
+        value = feature_similarity(_feature("a", False, 3),
+                                   _feature("b", False, 3),
+                                   alpha=0.3, beta=0.7)
+        assert value == pytest.approx(0.3)
+
+    def test_name_only(self):
+        value = feature_similarity(_feature("a", False, 3),
+                                   _feature("a", False, 4),
+                                   alpha=0.3, beta=0.7)
+        assert value == pytest.approx(0.7)
+
+
+class TestSpanSimilarity:
+    def test_identity_is_one(self):
+        digest = SpanDigest(features=[_feature("a", False, 1),
+                                      _feature("b", True, 2)])
+        assert span_similarity(digest, digest) == pytest.approx(1.0)
+        assert span_similarity_exact(digest, digest) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        digest = SpanDigest(features=[_feature("a")])
+        assert span_similarity(SpanDigest(), digest) == 0.0
+        assert span_similarity_exact(SpanDigest(), digest) == 0.0
+
+    def test_symmetry(self):
+        a = SpanDigest(features=[_feature("a", False, 1),
+                                 _feature("b", True, 2)])
+        b = SpanDigest(features=[_feature("a", False, 9),
+                                 _feature("c", True, 2),
+                                 _feature("d", False, 1)])
+        assert span_similarity(a, b) == pytest.approx(span_similarity(b, a))
+
+    def test_greedy_matches_exact_on_random_digests(self, rng):
+        for trial in range(20):
+            schema = random_schema(rng, n_features=int(rng.integers(2, 9)))
+            s1 = synthetic_span(schema, 1, 500, rng)
+            s2 = synthetic_span(schema, 2, 500, rng)
+            d1, d2 = digest_span(s1.statistics), digest_span(s2.statistics)
+            greedy = span_similarity(d1, d2)
+            exact = span_similarity_exact(d1, d2)
+            assert greedy == pytest.approx(exact, abs=1e-6)
+
+    def test_greedy_lower_bounds_exact_generally(self, rng):
+        for trial in range(30):
+            n = int(rng.integers(1, 7))
+            m = int(rng.integers(1, 7))
+            a = SpanDigest(features=[
+                _feature(f"a{i}", bool(rng.integers(2)),
+                         int(rng.integers(3))) for i in range(n)])
+            b = SpanDigest(features=[
+                _feature(f"a{i}" if rng.random() < 0.5 else f"b{i}",
+                         bool(rng.integers(2)), int(rng.integers(3)))
+                for i in range(m)])
+            assert span_similarity(a, b) <= \
+                span_similarity_exact(a, b) + 1e-9
+
+    def test_range_zero_one(self, rng):
+        a = SpanDigest(features=[_feature("a", False, 1)])
+        b = SpanDigest(features=[_feature("b", True, 5)])
+        assert 0.0 <= span_similarity(a, b) <= 1.0
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 0.0
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        value = jaccard_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_similarity(b, a)
+
+
+class TestSequenceSimilarity:
+    def _digest(self, tag):
+        return SpanDigest(features=[_feature(f"{tag}", False, hash(tag) % 5)])
+
+    def test_identical_sequences(self):
+        seq = [self._digest("x"), self._digest("y")]
+        assert sequence_similarity(seq, seq) == pytest.approx(1.0)
+
+    def test_normalized_by_longer(self):
+        a = [self._digest("x")]
+        b = [self._digest("x"), self._digest("z1"), self._digest("z2")]
+        # One aligned perfect pair out of max length 3.
+        assert sequence_similarity(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_sequence_zero(self):
+        assert sequence_similarity([], [self._digest("x")]) == 0.0
+
+    def test_ordinal_misalignment_lowers_similarity(self):
+        a = [self._digest("x"), self._digest("y")]
+        shifted = [self._digest("y"), self._digest("x")]
+        assert sequence_similarity(a, shifted) < \
+            sequence_similarity(a, a)
+
+    def test_bipartite_geq_ordinal(self):
+        a = [self._digest("x"), self._digest("y")]
+        shifted = [self._digest("y"), self._digest("x")]
+        assert bipartite_similarity(a, shifted) >= \
+            sequence_similarity(a, shifted)
+
+    def test_bipartite_recovers_permutation(self):
+        a = [self._digest("x"), self._digest("y")]
+        shifted = [self._digest("y"), self._digest("x")]
+        assert bipartite_similarity(a, shifted) == pytest.approx(1.0)
+
+
+class TestDigestProperties:
+    def test_roundtrip_through_properties(self, rng):
+        schema = random_schema(rng, n_features=5)
+        digest = digest_span(synthetic_span(schema, 1, 100, rng).statistics)
+        rebuilt = SpanDigest.from_properties(digest.to_properties())
+        assert rebuilt.features == digest.features
+
+    def test_digest_length_matches_features(self, rng):
+        schema = random_schema(rng, n_features=9)
+        digest = digest_span(synthetic_span(schema, 1, 100, rng).statistics)
+        assert digest.feature_count == 9

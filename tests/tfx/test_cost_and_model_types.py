@@ -1,0 +1,60 @@
+"""Cost-model and model-type taxonomy tests."""
+
+import numpy as np
+import pytest
+
+from repro.tfx import CostModel, ModelType, OperatorGroup, coarse_family
+from repro.tfx.cost import POST_TRAINER_GROUPS, PRE_TRAINER_GROUPS
+
+
+class TestCoarseFamily:
+    @pytest.mark.parametrize("model_type,family", [
+        (ModelType.DNN, "DNN"),
+        (ModelType.DNN_LINEAR, "DNN"),
+        (ModelType.LINEAR, "Linear"),
+        (ModelType.TREES, "Rest"),
+        (ModelType.ENSEMBLE, "Rest"),
+        (ModelType.OTHER, "Rest"),
+    ])
+    def test_mapping(self, model_type, family):
+        assert coarse_family(model_type) == family
+
+
+class TestStagePartition:
+    def test_pre_post_cover_all_but_training(self):
+        covered = PRE_TRAINER_GROUPS | POST_TRAINER_GROUPS
+        assert OperatorGroup.TRAINING not in covered
+        assert covered | {OperatorGroup.TRAINING} == set(OperatorGroup)
+
+    def test_pre_and_post_disjoint(self):
+        assert not (PRE_TRAINER_GROUPS & POST_TRAINER_GROUPS)
+
+
+class TestCostModel:
+    def test_medians_drive_sample_scale(self, rng):
+        model = CostModel()
+        training = np.median([
+            model.sample(OperatorGroup.TRAINING, rng)
+            for _ in range(400)])
+        deployment = np.median([
+            model.sample(OperatorGroup.MODEL_DEPLOYMENT, rng)
+            for _ in range(400)])
+        assert training > deployment
+
+    def test_lognormal_spread(self, rng):
+        model = CostModel(sigma=0.6)
+        samples = np.array([
+            model.sample(OperatorGroup.TRAINING, rng)
+            for _ in range(2000)])
+        log_std = np.std(np.log(samples))
+        assert log_std == pytest.approx(0.6, abs=0.08)
+
+    def test_scale_floor(self, rng):
+        model = CostModel()
+        value = model.sample(OperatorGroup.TRAINING, rng, scale=0.0)
+        assert value > 0
+
+    def test_every_group_samplable(self, rng):
+        model = CostModel()
+        for group in OperatorGroup:
+            assert model.sample(group, rng) > 0

@@ -1,0 +1,259 @@
+"""Runtime orchestration tests: windows, gating, failures, retrains."""
+
+import numpy as np
+import pytest
+
+from repro.data import random_schema, synthetic_span
+from repro.mlmd import ExecutionState, MetadataStore
+from repro.tfx import (
+    BLOCKED,
+    FAILED,
+    NOT_IN_STAGE,
+    RAN,
+    SKIPPED,
+    ExampleGen,
+    ExampleValidator,
+    Evaluator,
+    ModelValidator,
+    NodeInput,
+    PipelineDef,
+    PipelineNode,
+    PipelineRunner,
+    Pusher,
+    SchemaGen,
+    StatisticsGen,
+    Trainer,
+)
+
+
+def _pipeline(with_validation=True):
+    nodes = [
+        PipelineNode("gen", ExampleGen(), stage="ingest"),
+        PipelineNode("stats", StatisticsGen(),
+                     inputs={"spans": NodeInput("gen", "span")},
+                     stage="ingest"),
+        PipelineNode("schema", SchemaGen(),
+                     inputs={"statistics": NodeInput("stats",
+                                                     "statistics")},
+                     stage="ingest"),
+    ]
+    gates = []
+    if with_validation:
+        nodes.append(PipelineNode(
+            "validator", ExampleValidator(),
+            inputs={"statistics": NodeInput("stats", "statistics"),
+                    "schema": NodeInput("schema", "schema")},
+            stage="ingest"))
+        gates = ["validator"]
+    nodes.extend([
+        PipelineNode("trainer", Trainer(),
+                     inputs={"spans": NodeInput("gen", "span", window=2)},
+                     gates=gates),
+        PipelineNode("evaluator", Evaluator(),
+                     inputs={"model": NodeInput("trainer", "model"),
+                             "spans": NodeInput("gen", "span")}),
+        PipelineNode("mvalidator", ModelValidator(),
+                     inputs={"evaluation": NodeInput("evaluator",
+                                                     "evaluation"),
+                             "model": NodeInput("trainer", "model")}),
+        PipelineNode("pusher", Pusher(),
+                     inputs={"model": NodeInput("trainer", "model"),
+                             "blessing": NodeInput("mvalidator",
+                                                   "blessing")},
+                     gates=["mvalidator"]),
+    ])
+    return PipelineDef("test", nodes)
+
+
+@pytest.fixture()
+def runner_setup(rng):
+    store = MetadataStore()
+    runner = PipelineRunner(_pipeline(), store, rng, simulation=True)
+    schema = random_schema(rng, n_features=5)
+    return store, runner, schema
+
+
+def _hints(schema, rng, span_id, now=0.0, **overrides):
+    hints = {
+        "new_span": synthetic_span(schema, span_id, 1000, rng,
+                                   ingest_time=now),
+        "data_validation_ok": True,
+        "model_quality": 0.8,
+        "model_blessed": True,
+        "push_throttled": False,
+    }
+    hints.update(overrides)
+    return hints
+
+
+class TestHappyPath:
+    def test_full_run_pushes(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0))
+        assert report.node_status["trainer"] == RAN
+        assert report.node_status["pusher"] == RAN
+        assert report.pushed
+        assert report.total_cpu_hours > 0
+
+    def test_ingest_run_skips_training(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="ingest",
+                            hints=_hints(schema, rng, 0))
+        assert report.node_status["trainer"] == NOT_IN_STAGE
+        assert report.node_status["gen"] == RAN
+        assert not report.pushed
+
+    def test_rolling_window_grows_to_cap(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        for i in range(3):
+            report = runner.run(i * 24.0, kind="train",
+                                hints=_hints(schema, rng, i))
+        trainer_exec = report.execution_ids["trainer"]
+        spans = store.get_input_artifacts(trainer_exec)
+        span_inputs = [a for a in spans if a.type_name == "DataSpan"]
+        assert len(span_inputs) == 2  # window=2
+
+    def test_trace_grows_per_run(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        runner.run(0.0, kind="train", hints=_hints(schema, rng, 0))
+        first = store.num_executions
+        runner.run(24.0, kind="train", hints=_hints(schema, rng, 1))
+        assert store.num_executions > first
+
+    def test_unknown_kind_rejected(self, runner_setup, rng):
+        _, runner, schema = runner_setup
+        with pytest.raises(ValueError):
+            runner.run(0.0, kind="bogus", hints=_hints(schema, rng, 0))
+
+
+class TestGating:
+    def test_failed_data_validation_blocks_training(self, runner_setup,
+                                                    rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         data_validation_ok=False))
+        assert report.node_status["validator"] == RAN
+        assert report.node_status["trainer"] == BLOCKED
+        assert "trainer" not in report.execution_ids
+
+    def test_unblessed_model_blocks_pusher(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         model_blessed=False))
+        assert report.node_status["mvalidator"] == RAN
+        assert report.node_status["pusher"] == BLOCKED
+        assert not report.pushed
+
+    def test_unblessed_validator_emits_no_blessing(self, runner_setup,
+                                                   rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         model_blessed=False))
+        assert "mvalidator" not in report.output_artifact_ids
+
+    def test_throttled_pusher_runs_without_output(self, runner_setup,
+                                                  rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         push_throttled=True))
+        assert report.node_status["pusher"] == RAN
+        assert not report.pushed
+
+
+class TestFailures:
+    def test_injected_trainer_failure(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         fail_nodes={"trainer"}))
+        assert report.node_status["trainer"] == FAILED
+        execution = store.get_execution(report.execution_ids["trainer"])
+        assert execution.state is ExecutionState.FAILED
+        assert execution.get("cpu_hours") > 0  # failures are not free
+
+    def test_failure_skips_downstream(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         fail_nodes={"trainer"}))
+        assert report.node_status["evaluator"] == SKIPPED
+        assert report.node_status["pusher"] in (SKIPPED, BLOCKED)
+
+    def test_ingest_failure_starves_first_training(self, runner_setup,
+                                                   rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         fail_nodes={"gen"}))
+        assert report.node_status["gen"] == FAILED
+        assert report.node_status["trainer"] == SKIPPED
+
+    def test_operator_exception_becomes_failed(self, rng):
+        class Exploding(ExampleGen):
+            def run(self, ctx, inputs):
+                raise RuntimeError("boom")
+
+        store = MetadataStore()
+        pipeline = PipelineDef("p", [
+            PipelineNode("gen", Exploding(), stage="ingest")])
+        runner = PipelineRunner(pipeline, store, rng, simulation=True)
+        report = runner.run(0.0, kind="ingest", hints={"new_span": None})
+        assert report.node_status["gen"] == FAILED
+        execution = store.get_execution(report.execution_ids["gen"])
+        assert execution.get("error") == "RuntimeError"
+
+
+class TestRetrain:
+    def test_retrain_reuses_window(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        runner.run(0.0, kind="train", hints=_hints(schema, rng, 0))
+        report = runner.run(1.0, kind="retrain",
+                            hints=_hints(schema, rng, 99))
+        assert report.node_status["gen"] == NOT_IN_STAGE
+        assert report.node_status["trainer"] == RAN
+        trainer_exec = report.execution_ids["trainer"]
+        spans = [a for a in store.get_input_artifacts(trainer_exec)
+                 if a.type_name == "DataSpan"]
+        assert [a.get("span_id") for a in spans] == [0]
+
+    def test_retrain_before_any_ingest_skips(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="retrain",
+                            hints=_hints(schema, rng, 0))
+        assert report.node_status["trainer"] == SKIPPED
+
+
+class TestNodeOverrides:
+    def test_override_targets_single_node(self, rng):
+        store = MetadataStore()
+        runner = PipelineRunner(_pipeline(), store, rng, simulation=True)
+        schema = random_schema(rng, n_features=4)
+        hints = _hints(schema, rng, 0, model_blessed=True)
+        hints["node_overrides"] = {"mvalidator": {"model_blessed": False}}
+        report = runner.run(0.0, kind="train", hints=hints)
+        assert not report.pushed
+
+
+class TestWarmStart:
+    def test_second_training_sees_previous_model(self, rng):
+        store = MetadataStore()
+        nodes = [
+            PipelineNode("gen", ExampleGen(), stage="ingest"),
+            PipelineNode("trainer", Trainer(warm_start=True), inputs={
+                "spans": NodeInput("gen", "span"),
+                "base_model": NodeInput("trainer", "model", fresh=False),
+            }),
+        ]
+        runner = PipelineRunner(PipelineDef("p", nodes), store, rng,
+                                simulation=True)
+        schema = random_schema(rng, n_features=4)
+        runner.run(0.0, kind="train", hints=_hints(schema, rng, 0))
+        report = runner.run(24.0, kind="train",
+                            hints=_hints(schema, rng, 1))
+        model_id = report.output_artifact_ids["trainer"][0]
+        assert store.get_artifact(model_id).get("warm_started") is True

@@ -1,0 +1,96 @@
+"""Trigger-process tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import random_schema, synthetic_span
+from repro.mlmd import MetadataStore
+from repro.tfx import (
+    ExampleGen,
+    ManualTrigger,
+    NodeInput,
+    PeriodicTrigger,
+    PipelineDef,
+    PipelineNode,
+    PipelineRunner,
+    Trainer,
+)
+
+
+@pytest.fixture()
+def trigger_setup(rng):
+    store = MetadataStore()
+    pipeline = PipelineDef("p", [
+        PipelineNode("gen", ExampleGen(), stage="ingest"),
+        PipelineNode("trainer", Trainer(),
+                     inputs={"spans": NodeInput("gen", "span", window=3)}),
+    ])
+    runner = PipelineRunner(pipeline, store, rng, simulation=True)
+    schema = random_schema(rng, n_features=4)
+    counter = {"next": 0}
+
+    def source(now):
+        span = synthetic_span(schema, counter["next"], 500, rng,
+                              ingest_time=now)
+        counter["next"] += 1
+        return span
+
+    return store, runner, source
+
+
+class TestPeriodicTrigger:
+    def test_trains_every_nth_span(self, trigger_setup):
+        store, runner, source = trigger_setup
+        trigger = PeriodicTrigger(runner, source, period_hours=24.0,
+                                  train_every=3)
+        reports = list(trigger.run_for(days=9))
+        kinds = [r.kind for r in reports]
+        assert kinds == ["ingest", "ingest", "train"] * 3
+
+    def test_warmup_defers_training(self, trigger_setup):
+        store, runner, source = trigger_setup
+        trigger = PeriodicTrigger(runner, source, period_hours=24.0,
+                                  train_every=1, warmup_spans=3)
+        reports = list(trigger.run_for(days=5))
+        assert [r.kind for r in reports] == \
+            ["ingest", "ingest", "ingest", "train", "train"]
+
+    def test_clock_advances(self, trigger_setup):
+        store, runner, source = trigger_setup
+        trigger = PeriodicTrigger(runner, source, period_hours=6.0)
+        list(trigger.run_for(days=1))
+        assert trigger.now == pytest.approx(24.0)
+
+    def test_hints_fn_forwarded(self, trigger_setup):
+        store, runner, source = trigger_setup
+        seen = []
+
+        def hints_fn(now, kind):
+            seen.append((now, kind))
+            return {"model_quality": 0.9}
+
+        trigger = PeriodicTrigger(runner, source, period_hours=24.0,
+                                  hints_fn=hints_fn)
+        trigger.tick()
+        assert seen == [(0.0, "train")]
+
+    def test_validates_params(self, trigger_setup):
+        _, runner, source = trigger_setup
+        with pytest.raises(ValueError):
+            PeriodicTrigger(runner, source, period_hours=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTrigger(runner, source, train_every=0)
+
+
+class TestManualTrigger:
+    def test_retrain_reuses_window(self, trigger_setup):
+        store, runner, source = trigger_setup
+        periodic = PeriodicTrigger(runner, source, period_hours=24.0)
+        list(periodic.run_for(days=3))
+        models_before = len(store.get_artifacts("Model"))
+        manual = ManualTrigger(runner)
+        report = manual.retrain(periodic.now + 1.0)
+        assert report.kind == "retrain"
+        assert len(store.get_artifacts("Model")) == models_before + 1
+        # No new span was ingested.
+        assert report.node_status["gen"] == "not_in_stage"
