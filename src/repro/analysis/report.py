@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from ..corpus.generator import Corpus
 from ..graphlets import Graphlet, segment_pipeline
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from . import graphlet_level, pipeline_level
 from .distributions import DistributionSummary
 
@@ -16,10 +18,12 @@ from .distributions import DistributionSummary
 def segment_production_pipelines(corpus: Corpus
                                  ) -> dict[int, list[Graphlet]]:
     """Graphlets of every production pipeline, keyed by context id."""
-    return {
-        cid: segment_pipeline(corpus.store, cid)
-        for cid in corpus.production_context_ids
-    }
+    with span("analysis.segment_production_pipelines"), \
+            get_registry().timer("analysis.segmentation_seconds"):
+        return {
+            cid: segment_pipeline(corpus.store, cid)
+            for cid in corpus.production_context_ids
+        }
 
 
 def full_report(corpus: Corpus,
@@ -37,6 +41,13 @@ def full_report(corpus: Corpus,
     if graphlets_by_pipeline is None:
         graphlets_by_pipeline = segment_production_pipelines(corpus)
 
+    with span("analysis.full_report",
+              n_pipelines=len(context_ids)), \
+            get_registry().timer("analysis.full_report_seconds"):
+        return _full_report(store, context_ids, graphlets_by_pipeline)
+
+
+def _full_report(store, context_ids, graphlets_by_pipeline) -> dict:
     gaps = graphlet_level.inter_graphlet_gaps(graphlets_by_pipeline)
     return {
         "fig3a_lifespan": DistributionSummary.from_values(

@@ -7,6 +7,8 @@ Commands:
 * ``waste`` — train the Section 5 policy variants and print Table 3 /
   Figure 10 summaries.
 * ``summarize`` — type-level summary of a pipeline's trace.
+* ``telemetry`` — render a telemetry JSONL file produced by
+  ``--metrics-out`` / ``--trace-out``.
 
 Every command works on a corpus database produced by ``generate``, so a
 full study is::
@@ -14,12 +16,26 @@ full study is::
     python -m repro generate --pipelines 100 --out corpus.db
     python -m repro report corpus.db
     python -m repro waste corpus.db
+
+Observability flags are global: ``--metrics-out t.jsonl`` exports the
+metrics registry after the command, ``--trace-out spans.jsonl`` enables
+span tracing and exports it, ``-v``/``-vv`` raise log verbosity and
+``--quiet`` silences everything below errors::
+
+    python -m repro generate --pipelines 20 --metrics-out t.jsonl
+    python -m repro telemetry t.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+
+from .obs import configure_logging, get_logger, get_registry
+
+_log = get_logger("cli")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -83,9 +99,10 @@ def _cmd_waste(args: argparse.Namespace) -> int:
     graphlets = segment_production_pipelines(corpus)
     dataset = build_waste_dataset(graphlets)
     if dataset.n_rows < 20:
-        print(f"only {dataset.n_rows} graphlets after the warm-start "
-              "filter — generate a larger corpus first", file=sys.stderr)
-        return 1
+        _log.error("corpus_too_small", n_rows=dataset.n_rows,
+                   required=20, corpus=args.corpus,
+                   hint="generate a larger corpus first")
+        return 2
     print(f"{dataset.n_rows} graphlets, "
           f"{dataset.unpushed_fraction:.0%} unpushed")
     policies = train_all_variants(dataset, n_estimators=args.trees)
@@ -93,9 +110,10 @@ def _cmd_waste(args: argparse.Namespace) -> int:
     rows = []
     for name, policy in policies.items():
         curve = evaluation.curves[name]
-        rows.append((name, policy.balanced_accuracy,
-                     evaluation.feature_cost.get(name, float("nan")),
-                     curve.waste_cut_at_freshness(0.95)))
+        rows.append((name,
+                     f"{policy.balanced_accuracy:.3f}",
+                     f"{evaluation.feature_cost.get(name, float('nan')):.3f}",
+                     f"{curve.waste_cut_at_freshness(0.95):.3f}"))
     print(format_table(("model", "balanced acc", "feature cost",
                         "waste cut @F>=0.95"), rows))
     return 0
@@ -118,15 +136,126 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------- telemetry
+
+
+def _label_text(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _render_telemetry(records: list[dict]) -> str:
+    """Render exported metrics/span records as tables and charts."""
+    from .reporting import bar_chart, format_table
+
+    counters = [r for r in records if r.get("kind") == "counter"]
+    gauges = [r for r in records if r.get("kind") == "gauge"]
+    histograms = [r for r in records if r.get("kind") == "histogram"]
+    spans = [r for r in records if r.get("kind") == "span"]
+    sections: list[str] = []
+
+    if counters:
+        rows = [(c["name"], _label_text(c["labels"]), f"{c['value']:,.0f}")
+                for c in counters]
+        sections.append(format_table(("counter", "labels", "value"), rows,
+                                     title="Counters"))
+        op_counts = {
+            _label_text(c["labels"]) or c["name"]: c["value"]
+            for c in counters if c["name"] == "mlmd.ops" and c["value"] > 0
+        }
+        if op_counts:
+            sections.append(bar_chart(
+                dict(sorted(op_counts.items(), key=lambda kv: -kv[1])),
+                title="Store ops", value_format="{:,.0f}"))
+
+    if gauges:
+        rows = [(g["name"], _label_text(g["labels"]), f"{g['value']:.3f}")
+                for g in gauges]
+        sections.append(format_table(("gauge", "labels", "value"), rows,
+                                     title="Gauges"))
+
+    if histograms:
+        rows = [
+            (h["name"], _label_text(h["labels"]), h["count"],
+             f"{h['mean']:.4g}", f"{h['p50']:.4g}", f"{h['p95']:.4g}",
+             f"{h['p99']:.4g}", f"{h['sum']:.4g}")
+            for h in histograms
+        ]
+        sections.append(format_table(
+            ("histogram", "labels", "count", "mean", "p50", "p95", "p99",
+             "sum"), rows, title="Histograms"))
+
+    if spans:
+        by_name: dict[str, list[float]] = {}
+        for record in spans:
+            by_name.setdefault(record["name"], []).append(
+                float(record["duration"]))
+        rows = []
+        for name, durations in sorted(by_name.items(),
+                                      key=lambda kv: -sum(kv[1])):
+            ordered = sorted(durations)
+            p50 = ordered[len(ordered) // 2]
+            p95 = ordered[min(int(len(ordered) * 0.95),
+                              len(ordered) - 1)]
+            rows.append((name, len(durations), f"{sum(durations):.4g}",
+                         f"{p50:.4g}", f"{p95:.4g}"))
+        sections.append(format_table(
+            ("span", "count", "total s", "p50 s", "p95 s"), rows,
+            title="Spans"))
+
+    if not sections:
+        return "(no telemetry records)"
+    return "\n\n".join(sections)
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    records = []
+    bad_lines = 0
+    try:
+        with open(args.file) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    bad_lines += 1
+    except OSError as exc:
+        _log.error("telemetry_unreadable", file=args.file,
+                   reason=type(exc).__name__)
+        return 2
+    if bad_lines:
+        _log.warning("telemetry_bad_lines", file=args.file,
+                     skipped=bad_lines)
+    print(_render_telemetry(records))
+    return 0
+
+
+# ---------------------------------------------------------------- parser
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="export the metrics registry as JSONL "
+                            "after the command")
+    group.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="enable span tracing and export spans "
+                            "as JSONL")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="raise log verbosity (-v info, -vv debug)")
+    group.add_argument("--quiet", action="store_true",
+                       help="only log errors")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Production ML Pipelines' "
                     "(SIGMOD 2021)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    generate = sub.add_parser("generate",
+    generate = sub.add_parser("generate", parents=[obs_flags],
                               help="generate a corpus into SQLite")
     generate.add_argument("--pipelines", type=int, default=60)
     generate.add_argument("--seed", type=int, default=7)
@@ -134,30 +263,62 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", default="corpus.db")
     generate.set_defaults(fn=_cmd_generate)
 
-    report = sub.add_parser("report",
+    report = sub.add_parser("report", parents=[obs_flags],
                             help="run the Section 3/4 analysis suite")
     report.add_argument("corpus")
     report.set_defaults(fn=_cmd_report)
 
-    waste = sub.add_parser("waste",
+    waste = sub.add_parser("waste", parents=[obs_flags],
                            help="train the Section 5 policy variants")
     waste.add_argument("corpus")
     waste.add_argument("--trees", type=int, default=60)
     waste.set_defaults(fn=_cmd_waste)
 
-    summarize = sub.add_parser("summarize",
+    summarize = sub.add_parser("summarize", parents=[obs_flags],
                                help="type-level trace summary")
     summarize.add_argument("corpus")
     summarize.add_argument("--pipeline", default=None,
                            help="pipeline name (default: whole corpus)")
     summarize.set_defaults(fn=_cmd_summarize)
+
+    telemetry = sub.add_parser("telemetry", parents=[obs_flags],
+                               help="render an exported telemetry "
+                                    "JSONL file")
+    telemetry.add_argument("file")
+    telemetry.set_defaults(fn=_cmd_telemetry)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from .obs import MetricsRegistry, NullTracer, Tracer, set_registry, \
+        set_tracer
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    configure_logging(-1 if args.quiet else args.verbose)
+    # A fresh registry per invocation keeps --metrics-out exports scoped
+    # to this command (tests call main() many times in one process).
+    set_registry(MetricsRegistry())
+    tracer = Tracer() if args.trace_out else None
+    if tracer is not None:
+        set_tracer(tracer)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # The stdout consumer (e.g. `repro telemetry t.jsonl | head`)
+        # went away; silence the flush-at-exit error too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        if args.metrics_out:
+            get_registry().export_jsonl(args.metrics_out)
+            _log.info("metrics_exported", file=args.metrics_out)
+        if tracer is not None:
+            tracer.export_jsonl(args.trace_out)
+            _log.info("trace_exported", file=args.trace_out,
+                      spans=len(tracer.finished_spans()))
+            set_tracer(NullTracer())
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ deployed model — is applied by :attr:`Corpus.production_records`.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,10 +27,27 @@ from ..data.generators import (
     synthetic_span,
 )
 from ..mlmd import MetadataStore
+from ..obs.logging import get_logger
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from ..tfx.runtime import PipelineRunner
 from .archetypes import PipelineArchetype, build_pipeline, sample_archetype
 from .config import CorpusConfig
 from .mechanism import PushMechanism
+
+_log = get_logger("corpus.generator")
+
+#: Called after each pipeline with ``(done, total, store)``.
+ProgressCallback = Callable[[int, int, MetadataStore], None]
+
+
+def print_progress_every(every: int = 50) -> ProgressCallback:
+    """The classic CLI progress line, printed every ``every`` pipelines."""
+    def callback(done: int, total: int, store: MetadataStore) -> None:
+        if done % every == 0:
+            print(f"generated {done}/{total} pipelines; "
+                  f"store: {store.num_executions} executions")
+    return callback
 
 
 @dataclass
@@ -199,32 +217,56 @@ def _truncate(schema, n: int):
 
 
 def generate_corpus(config: CorpusConfig | None = None,
-                    progress: bool = False) -> Corpus:
+                    progress: bool = False,
+                    progress_callback: ProgressCallback | None = None
+                    ) -> Corpus:
     """Generate a full corpus per the configuration.
 
-    Deterministic given ``config.seed``. With ``progress=True`` a line is
-    printed every 50 pipelines (corpus generation at bench scale takes
-    tens of seconds).
+    Deterministic given ``config.seed``. With ``progress=True`` (and no
+    explicit callback) the classic line is printed every 50 pipelines
+    (corpus generation at bench scale takes tens of seconds). Pass
+    ``progress_callback`` for custom reporting; it is invoked after
+    every pipeline with the metrics-derived completion count.
     """
     config = config or CorpusConfig()
     rng = np.random.default_rng(config.seed)
     store = MetadataStore()
     corpus = Corpus(store=store, config=config)
     corpus_span_hours = config.corpus_span_days * 24.0
-    for index in range(config.n_pipelines):
-        n_features = sample_feature_count(rng)
-        categorical_fraction = float(np.clip(
-            rng.normal(CATEGORICAL_FRACTION, 0.15), 0.05, 0.95))
-        archetype = sample_archetype(rng, config, index, n_features,
-                                     categorical_fraction)
-        latest_start = max(corpus_span_hours
-                           - archetype.lifespan_days * 24.0, 0.0)
-        start_time = float(rng.uniform(0.0, latest_start)) \
-            if latest_start > 0 else 0.0
-        record = _simulate_pipeline(store, config, archetype, rng,
-                                    start_time)
-        corpus.records.append(record)
-        if progress and (index + 1) % 50 == 0:
-            print(f"generated {index + 1}/{config.n_pipelines} pipelines; "
-                  f"store: {store.num_executions} executions")
+    if progress_callback is None and progress:
+        progress_callback = print_progress_every(50)
+    registry = get_registry()
+    pipelines_done = registry.counter("corpus.pipelines_generated")
+    done_base = pipelines_done.value
+    _log.info("corpus_generation_started", pipelines=config.n_pipelines,
+              seed=config.seed)
+    with span("corpus.generate", n_pipelines=config.n_pipelines,
+              seed=config.seed):
+        for index in range(config.n_pipelines):
+            n_features = sample_feature_count(rng)
+            categorical_fraction = float(np.clip(
+                rng.normal(CATEGORICAL_FRACTION, 0.15), 0.05, 0.95))
+            archetype = sample_archetype(rng, config, index, n_features,
+                                         categorical_fraction)
+            latest_start = max(corpus_span_hours
+                               - archetype.lifespan_days * 24.0, 0.0)
+            start_time = float(rng.uniform(0.0, latest_start)) \
+                if latest_start > 0 else 0.0
+            with span("corpus.pipeline", index=index,
+                      archetype=archetype.name), \
+                    registry.timer("corpus.pipeline_seconds") as timer:
+                record = _simulate_pipeline(store, config, archetype, rng,
+                                            start_time)
+            pipelines_done.value += 1
+            corpus.records.append(record)
+            _log.debug("pipeline_generated", index=index,
+                       archetype=archetype.name, runs=record.n_runs,
+                       train_runs=record.n_train_runs,
+                       seconds=timer.elapsed)
+            if progress_callback is not None:
+                progress_callback(int(pipelines_done.value - done_base),
+                                  config.n_pipelines, store)
+    _log.info("corpus_generated", pipelines=len(corpus.records),
+              executions=store.num_executions,
+              artifacts=store.num_artifacts, events=store.num_events)
     return corpus

@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import deque
 
 from ..mlmd import MetadataStore
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from .graphlet import DATA_ANALYSIS_TYPES, STOP_TYPES, Graphlet
 
 
@@ -131,13 +133,19 @@ def segment_pipeline(store: MetadataStore,
     Chronological order is what defines *consecutive graphlets*
     (Section 4.2) for the similarity and cadence analyses.
     """
-    trainers = [
-        e for e in store.get_executions_by_context(pipeline_context_id)
-        if e.type_name == "Trainer"
-    ]
-    trainers.sort(key=lambda e: (e.start_time, e.id))
-    return [segment_trainer(store, t.id, pipeline_context_id)
-            for t in trainers]
+    registry = get_registry()
+    with span("graphlets.segment_pipeline",
+              context_id=pipeline_context_id), \
+            registry.timer("graphlets.segment_pipeline_seconds"):
+        trainers = [
+            e for e in store.get_executions_by_context(pipeline_context_id)
+            if e.type_name == "Trainer"
+        ]
+        trainers.sort(key=lambda e: (e.start_time, e.id))
+        graphlets = [segment_trainer(store, t.id, pipeline_context_id)
+                     for t in trainers]
+    registry.counter("graphlets.segmented").inc(len(graphlets))
+    return graphlets
 
 
 def segment_corpus(store: MetadataStore) -> dict[int, list[Graphlet]]:

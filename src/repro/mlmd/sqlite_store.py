@@ -13,6 +13,8 @@ import json
 import sqlite3
 from pathlib import Path
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from .store import MetadataStore
 from .types import (
     Artifact,
@@ -75,54 +77,63 @@ def save_store(store: MetadataStore, path: str | Path) -> None:
     path = Path(path)
     if path.exists():
         path.unlink()
+    registry = get_registry()
+    registry.counter("mlmd.save_store_rows").inc(
+        store.num_artifacts + store.num_executions + store.num_events)
     conn = sqlite3.connect(path)
-    try:
-        conn.executescript(_SCHEMA)
-        conn.executemany(
-            "INSERT INTO artifacts VALUES (?,?,?,?,?,?,?)",
-            [
-                (a.id, a.type_name, a.name, a.uri, a.state.value,
-                 a.create_time, json.dumps(a.properties))
-                for a in store.get_artifacts()
-            ],
-        )
-        conn.executemany(
-            "INSERT INTO executions VALUES (?,?,?,?,?,?,?)",
-            [
-                (e.id, e.type_name, e.name, e.state.value, e.start_time,
-                 e.end_time, json.dumps(e.properties))
-                for e in store.get_executions()
-            ],
-        )
-        conn.executemany(
-            "INSERT INTO contexts VALUES (?,?,?,?,?)",
-            [
-                (c.id, c.type_name, c.name, c.create_time,
-                 json.dumps(c.properties))
-                for c in store.get_contexts()
-            ],
-        )
-        conn.executemany(
-            "INSERT INTO events VALUES (?,?,?,?)",
-            [
-                (ev.artifact_id, ev.execution_id, ev.type.value, ev.time)
-                for ev in store.get_events()
-            ],
-        )
-        attribution_rows = []
-        association_rows = []
-        for context in store.get_contexts():
-            for artifact in store.get_artifacts_by_context(context.id):
-                attribution_rows.append((context.id, artifact.id))
-            for execution in store.get_executions_by_context(context.id):
-                association_rows.append((context.id, execution.id))
-        conn.executemany("INSERT INTO attributions VALUES (?,?)",
-                         attribution_rows)
-        conn.executemany("INSERT INTO associations VALUES (?,?)",
-                         association_rows)
-        conn.commit()
-    finally:
-        conn.close()
+    with span("mlmd.save_store", path=str(path)), \
+            registry.timer("mlmd.save_store_seconds"):
+        try:
+            _write_all(conn, store)
+        finally:
+            conn.close()
+
+
+def _write_all(conn: sqlite3.Connection, store: MetadataStore) -> None:
+    conn.executescript(_SCHEMA)
+    conn.executemany(
+        "INSERT INTO artifacts VALUES (?,?,?,?,?,?,?)",
+        [
+            (a.id, a.type_name, a.name, a.uri, a.state.value,
+             a.create_time, json.dumps(a.properties))
+            for a in store.get_artifacts()
+        ],
+    )
+    conn.executemany(
+        "INSERT INTO executions VALUES (?,?,?,?,?,?,?)",
+        [
+            (e.id, e.type_name, e.name, e.state.value, e.start_time,
+             e.end_time, json.dumps(e.properties))
+            for e in store.get_executions()
+        ],
+    )
+    conn.executemany(
+        "INSERT INTO contexts VALUES (?,?,?,?,?)",
+        [
+            (c.id, c.type_name, c.name, c.create_time,
+             json.dumps(c.properties))
+            for c in store.get_contexts()
+        ],
+    )
+    conn.executemany(
+        "INSERT INTO events VALUES (?,?,?,?)",
+        [
+            (ev.artifact_id, ev.execution_id, ev.type.value, ev.time)
+            for ev in store.get_events()
+        ],
+    )
+    attribution_rows = []
+    association_rows = []
+    for context in store.get_contexts():
+        for artifact in store.get_artifacts_by_context(context.id):
+            attribution_rows.append((context.id, artifact.id))
+        for execution in store.get_executions_by_context(context.id):
+            association_rows.append((context.id, execution.id))
+    conn.executemany("INSERT INTO attributions VALUES (?,?)",
+                     attribution_rows)
+    conn.executemany("INSERT INTO associations VALUES (?,?)",
+                     association_rows)
+    conn.commit()
 
 
 def load_store(path: str | Path) -> MetadataStore:
@@ -133,6 +144,13 @@ def load_store(path: str | Path) -> MetadataStore:
     """
     conn = sqlite3.connect(Path(path))
     store = MetadataStore()
+    with span("mlmd.load_store", path=str(path)), \
+            get_registry().timer("mlmd.load_store_seconds"):
+        return _read_all(conn, store)
+
+
+def _read_all(conn: sqlite3.Connection,
+              store: MetadataStore) -> MetadataStore:
     try:
         id_map_a: dict[int, int] = {}
         for row in conn.execute(

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Sequence
 
+from ..obs.metrics import get_registry
 from .errors import AlreadyExistsError, InvalidArgumentError, NotFoundError
 from .types import (
     Artifact,
@@ -61,11 +62,29 @@ class MetadataStore:
         self._execution_contexts: dict[int, list[int]] = defaultdict(list)
         # Name uniqueness per (kind, type_name, name).
         self._named_nodes: dict[tuple[str, str, str], int] = {}
+        # Op counters, bound once so the hot path pays one attribute add
+        # per operation. Swap the global registry before constructing
+        # stores you want measured separately.
+        registry = get_registry()
+        self._ops_put_artifact = registry.counter("mlmd.ops",
+                                                  op="put_artifact")
+        self._ops_put_execution = registry.counter("mlmd.ops",
+                                                   op="put_execution")
+        self._ops_put_context = registry.counter("mlmd.ops",
+                                                 op="put_context")
+        self._ops_put_event = registry.counter("mlmd.ops", op="put_event")
+        self._ops_put_attribution = registry.counter("mlmd.ops",
+                                                     op="put_attribution")
+        self._ops_put_association = registry.counter("mlmd.ops",
+                                                     op="put_association")
+        self._ops_get_node = registry.counter("mlmd.ops", op="get_node")
+        self._ops_lineage = registry.counter("mlmd.ops", op="lineage")
 
     # ------------------------------------------------------------------ put
 
     def put_artifact(self, artifact: Artifact) -> int:
         """Insert or update an artifact; returns its id."""
+        self._ops_put_artifact.value += 1
         validate_properties(artifact.properties)
         if artifact.id == -1:
             artifact.id = self._next_artifact_id
@@ -79,6 +98,7 @@ class MetadataStore:
 
     def put_execution(self, execution: Execution) -> int:
         """Insert or update an execution; returns its id."""
+        self._ops_put_execution.value += 1
         validate_properties(execution.properties)
         if execution.id == -1:
             execution.id = self._next_execution_id
@@ -92,6 +112,7 @@ class MetadataStore:
 
     def put_context(self, context: Context) -> int:
         """Insert or update a context; returns its id."""
+        self._ops_put_context.value += 1
         validate_properties(context.properties)
         if context.id == -1:
             context.id = self._next_context_id
@@ -105,6 +126,7 @@ class MetadataStore:
 
     def put_event(self, event: Event) -> None:
         """Record an input/output edge between existing nodes."""
+        self._ops_put_event.value += 1
         if event.artifact_id not in self._artifacts:
             raise NotFoundError(f"artifact id {event.artifact_id} not found")
         if event.execution_id not in self._executions:
@@ -124,6 +146,7 @@ class MetadataStore:
 
     def put_attribution(self, context_id: int, artifact_id: int) -> None:
         """Associate an artifact with a context."""
+        self._ops_put_attribution.value += 1
         self._require_context(context_id)
         if artifact_id not in self._artifacts:
             raise NotFoundError(f"artifact id {artifact_id} not found")
@@ -132,6 +155,7 @@ class MetadataStore:
 
     def put_association(self, context_id: int, execution_id: int) -> None:
         """Associate an execution with a context."""
+        self._ops_put_association.value += 1
         self._require_context(context_id)
         if execution_id not in self._executions:
             raise NotFoundError(f"execution id {execution_id} not found")
@@ -142,6 +166,7 @@ class MetadataStore:
 
     def get_artifact(self, artifact_id: int) -> Artifact:
         """Return the artifact with the given id."""
+        self._ops_get_node.value += 1
         try:
             return self._artifacts[artifact_id]
         except KeyError:
@@ -149,6 +174,7 @@ class MetadataStore:
 
     def get_execution(self, execution_id: int) -> Execution:
         """Return the execution with the given id."""
+        self._ops_get_node.value += 1
         try:
             return self._executions[execution_id]
         except KeyError:
@@ -193,10 +219,12 @@ class MetadataStore:
 
     def get_input_artifact_ids(self, execution_id: int) -> list[int]:
         """Artifact ids consumed by an execution (event order preserved)."""
+        self._ops_lineage.value += 1
         return list(self._inputs_of.get(execution_id, ()))
 
     def get_output_artifact_ids(self, execution_id: int) -> list[int]:
         """Artifact ids produced by an execution."""
+        self._ops_lineage.value += 1
         return list(self._outputs_of.get(execution_id, ()))
 
     def get_input_artifacts(self, execution_id: int) -> list[Artifact]:
@@ -211,10 +239,12 @@ class MetadataStore:
 
     def get_consumer_execution_ids(self, artifact_id: int) -> list[int]:
         """Execution ids that consume an artifact."""
+        self._ops_lineage.value += 1
         return list(self._consumers_of.get(artifact_id, ()))
 
     def get_producer_execution_ids(self, artifact_id: int) -> list[int]:
         """Execution ids that produced an artifact."""
+        self._ops_lineage.value += 1
         return list(self._producers_of.get(artifact_id, ()))
 
     # ----------------------------------------------------------- contexts

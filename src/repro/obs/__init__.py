@@ -1,0 +1,63 @@
+"""Self-instrumentation: metrics, span tracing, and structured logging.
+
+The paper mines execution telemetry out of production ML pipelines; this
+package makes the reproduction emit its own. Three pieces:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges, and streaming histograms (p50/p95/p99), with timer
+  context managers and a ``@timed`` decorator.
+* :mod:`repro.obs.tracing` — nested span tracing with ``contextvars``
+  propagation and JSONL export; a :class:`NullTracer` keeps the
+  disabled path near-free.
+* :mod:`repro.obs.logging` — structured ``key=value`` logging on stdlib
+  ``logging``.
+
+Everything exports as JSON Lines so ``repro telemetry`` (and any other
+consumer) can read one schema; see README "Observability".
+"""
+
+from .logging import (
+    StructuredLogger,
+    configure_logging,
+    format_fields,
+    get_logger,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    set_registry,
+    timed,
+)
+from .tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "StructuredLogger",
+    "Timer",
+    "Tracer",
+    "configure_logging",
+    "format_fields",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "timed",
+]

@@ -1,0 +1,250 @@
+"""Lightweight span tracing with ``contextvars`` propagation.
+
+A span is one timed region (a pipeline run, a node execution, a
+segmentation pass). Spans nest: the tracer tracks the current span in a
+:class:`contextvars.ContextVar`, so a span opened inside another span's
+``with`` block records it as parent — across generators and coroutines,
+not just the call stack.
+
+Two implementations share the interface:
+
+* :class:`Tracer` — records finished spans in memory and exports them as
+  JSON Lines (one span object per line).
+* :class:`NullTracer` — the default; ``span()`` returns a cached no-op
+  context manager, so instrumented hot paths cost almost nothing when
+  tracing is off.
+
+Instrumented code calls the *module-level* :func:`span` helper (which
+reads the current global tracer on every call) so enabling tracing
+mid-process — as the CLI does — affects already-constructed objects.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from pathlib import Path
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]
+
+
+class Span:
+    """One timed region; finished spans are what the tracer exports."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs",
+                 "error")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 start: float, attrs: dict) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = start
+        self.attrs = attrs
+        self.error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0 until the span closes)."""
+        return self.end - self.start
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute after the span opened."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        """The JSONL export record."""
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class _SpanContext:
+    """Context manager opening/closing one span on a real tracer."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._span = Span(name, tracer._next_id(), None,
+                          time.perf_counter(), attrs)
+        self._token = None
+
+    def __enter__(self) -> Span:
+        current = self._tracer._current
+        parent = current.get()
+        if parent is not None:
+            self._span.parent_id = parent.span_id
+        self._token = current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.end = time.perf_counter()
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._tracer._current.reset(self._token)
+        self._tracer._finished.append(self._span)
+        return False
+
+
+class _NullSpan:
+    """Inert span handed out by the no-op tracer."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+
+    def set_attr(self, key: str, value) -> None:
+        """No-op."""
+
+    @property
+    def duration(self) -> float:
+        """Always 0."""
+        return 0.0
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager (one instance per process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled path: no allocation, no clock reads, no records."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN_CONTEXT
+
+    def record_span(self, name: str, start: float, end: float,
+                    parent_id: int | None = None, **attrs) -> _NullSpan:
+        """No-op."""
+        return _NULL_SPAN
+
+    def finished_spans(self) -> list[Span]:
+        """Always empty."""
+        return []
+
+    def export_jsonl(self, path: str | Path) -> None:
+        """Write an empty file (keeps ``--trace-out`` round-trippable)."""
+        Path(path).write_text("")
+
+
+class Tracer:
+    """Records nested spans and exports them as JSON Lines.
+
+    Example:
+        >>> tracer = Tracer()
+        >>> with tracer.span("run", kind="train"):
+        ...     with tracer.span("node", node_id="trainer"):
+        ...         pass
+        >>> [s.name for s in tracer.finished_spans()]
+        ['node', 'run']
+        >>> tracer.finished_spans()[0].parent_id
+        1
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._finished: list[Span] = []
+        self._current: contextvars.ContextVar[Span | None] = \
+            contextvars.ContextVar("repro_obs_span", default=None)
+        self._id = 0
+
+    def _next_id(self) -> int:
+        self._id += 1
+        return self._id
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("name", k=v) as s:``."""
+        return _SpanContext(self, name, attrs)
+
+    def record_span(self, name: str, start: float, end: float,
+                    parent_id: int | None = None, **attrs) -> Span:
+        """Record an already-timed span directly (the hot-path API).
+
+        Skips the ``contextvars`` dance: the caller supplies the times
+        and (optionally) the parent. Per-node instrumentation in the
+        runner uses this — at tens of thousands of spans per corpus the
+        context-manager path costs real percent.
+        """
+        finished = Span(name, self._next_id(), parent_id, start, attrs)
+        finished.end = end
+        self._finished.append(finished)
+        return finished
+
+    def current_span(self) -> Span | None:
+        """The innermost open span in this context, if any."""
+        return self._current.get()
+
+    def finished_spans(self) -> list[Span]:
+        """Closed spans, in completion order (children before parents)."""
+        return list(self._finished)
+
+    def reset(self) -> None:
+        """Drop recorded spans (the id sequence keeps counting)."""
+        self._finished.clear()
+
+    def export_jsonl(self, path: str | Path) -> None:
+        """Write one JSON object per finished span to ``path``."""
+        with Path(path).open("w") as handle:
+            for finished in self._finished:
+                handle.write(json.dumps(finished.to_dict()) + "\n")
+
+
+_tracer: Tracer | NullTracer = NullTracer()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (a :class:`NullTracer` by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Swap the process-wide tracer (returns the previous one)."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def span(name: str, **attrs):
+    """Open a span on the *current* global tracer.
+
+    The late lookup is what lets the CLI install a real tracer after
+    long-lived objects (stores, runners) were built.
+    """
+    return _tracer.span(name, **attrs)

@@ -28,6 +28,10 @@ from ..mlmd import (
     ExecutionState,
     MetadataStore,
 )
+from time import perf_counter
+
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from .cost import CostModel
 from .operators.base import OperatorContext, OperatorResult
 from .pipeline import INGEST_STAGE, PipelineDef, PipelineNode
@@ -90,6 +94,24 @@ class PipelineRunner:
         self.context_id = store.put_context(
             Context(type_name="Pipeline", name=pipeline.name))
         self._topo = pipeline.topological_order()
+        # Instruments bound once per runner; the per-node hot path pays
+        # one dict lookup plus an attribute add.
+        registry = get_registry()
+        self._m_run_cpu_hours = registry.histogram("runtime.run_cpu_hours")
+        self._m_run_counts = {
+            kind: registry.counter("runtime.runs", kind=kind)
+            for kind in ("train", "retrain", INGEST_STAGE)
+        }
+        self._m_pushes = registry.counter("runtime.pushes")
+        self._m_node_status = {
+            status: registry.counter("runtime.node_status", status=status)
+            for status in (RAN, FAILED, BLOCKED, SKIPPED, NOT_IN_STAGE)
+        }
+        self._m_node_cpu_hours = {
+            node.node_id: registry.histogram(
+                "runtime.node_cpu_hours", group=node.operator.group.value)
+            for node in self._topo
+        }
 
     # ------------------------------------------------------------------
 
@@ -120,19 +142,42 @@ class PipelineRunner:
                     fresh_outputs[node.node_id] = (
                         self._last_result.get(node.node_id)
                         in ("ok", "blocking"))
-        for node in self._topo:
-            if kind == INGEST_STAGE and node.stage != INGEST_STAGE:
-                report.node_status[node.node_id] = NOT_IN_STAGE
-                continue
-            if kind == "retrain" and node.stage == INGEST_STAGE:
-                report.node_status[node.node_id] = NOT_IN_STAGE
-                continue
-            status, duration = self._run_node(node, cursor, hints, report,
-                                              fresh_outputs)
-            report.node_status[node.node_id] = status
-            cursor += duration
+        tracer = get_tracer()
+        with tracer.span("runtime.run", pipeline=self.pipeline.name,
+                         kind=kind, run_index=self._run_index) as run_span:
+            tracing = tracer.enabled
+            for node in self._topo:
+                if kind == INGEST_STAGE and node.stage != INGEST_STAGE:
+                    report.node_status[node.node_id] = NOT_IN_STAGE
+                    continue
+                if kind == "retrain" and node.stage == INGEST_STAGE:
+                    report.node_status[node.node_id] = NOT_IN_STAGE
+                    continue
+                # Per-node spans use the direct record API: the
+                # context-manager path costs several µs per span, which
+                # at corpus scale breaks the ≤5% overhead budget.
+                if tracing:
+                    wall_start = perf_counter()
+                    status, duration = self._run_node(
+                        node, cursor, hints, report, fresh_outputs)
+                    tracer.record_span(
+                        "runtime.node", wall_start, perf_counter(),
+                        parent_id=run_span.span_id, node=node.node_id,
+                        status=status)
+                else:
+                    status, duration = self._run_node(
+                        node, cursor, hints, report, fresh_outputs)
+                self._m_node_status[status].value += 1
+                report.node_status[node.node_id] = status
+                cursor += duration
+            run_span.set_attr("cpu_hours", report.total_cpu_hours)
+            run_span.set_attr("pushed", report.pushed)
         report.finished_at = cursor
         self._run_index += 1
+        self._m_run_counts[kind].value += 1
+        self._m_run_cpu_hours.record(report.total_cpu_hours)
+        if report.pushed:
+            self._m_pushes.value += 1
         if self.simulation:
             self.payloads.clear()
         return report
@@ -214,6 +259,7 @@ class PipelineRunner:
             scale=cost_scale * self.pipeline_cost_scale)
         duration = self.cost_model.wall_clock_hours(cpu_hours,
                                                     self.parallelism)
+        self._m_node_cpu_hours[node.node_id].record(cpu_hours)
         execution.end_time = start + duration
         execution.properties["cpu_hours"] = float(cpu_hours)
         execution.properties["group"] = node.operator.group.value

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from .policy import TrainedPolicy
 
 
@@ -97,7 +99,12 @@ def evaluate_policies(policies: dict[str, TrainedPolicy],
                       ) -> WasteEvaluation:
     """Bundle accuracies, feature costs, and tradeoff curves."""
     evaluation = WasteEvaluation(feature_cost=dict(feature_cost or {}))
-    for name, policy in policies.items():
-        evaluation.balanced_accuracy[name] = policy.balanced_accuracy
-        evaluation.curves[name] = tradeoff_curve(policy)
+    registry = get_registry()
+    with span("waste.evaluate_policies", n_policies=len(policies)), \
+            registry.timer("waste.evaluate_policies_seconds"):
+        for name, policy in policies.items():
+            evaluation.balanced_accuracy[name] = policy.balanced_accuracy
+            evaluation.curves[name] = tradeoff_curve(policy)
+            registry.gauge("waste.waste_cut_at_f95", variant=name).set(
+                evaluation.curves[name].waste_cut_at_freshness(0.95))
     return evaluation

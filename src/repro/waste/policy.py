@@ -22,6 +22,8 @@ import numpy as np
 
 from ..ml import RandomForestClassifier, balanced_accuracy
 from ..ml.model_selection import grouped_train_test_split
+from ..obs.metrics import get_registry
+from ..obs.tracing import span
 from .dataset import WasteDataset
 from .features import (
     FAMILY_CODE,
@@ -122,6 +124,21 @@ def train_variant(dataset: WasteDataset, split: WasteSplit, name: str,
     informative input-data features visible to most trees even when a
     large, mostly-constant shape family is added.
     """
+    registry = get_registry()
+    with span("waste.train_variant", variant=name), \
+            registry.timer("waste.train_variant_seconds"):
+        policy = _train_variant(dataset, split, name, families,
+                                n_estimators, max_depth, max_features,
+                                seed)
+    registry.gauge("waste.balanced_accuracy",
+                   variant=name).set(policy.balanced_accuracy)
+    return policy
+
+
+def _train_variant(dataset: WasteDataset, split: WasteSplit, name: str,
+                   families: tuple[str, ...], n_estimators: int,
+                   max_depth: int | None, max_features: float | str,
+                   seed: int) -> TrainedPolicy:
     matrix = dataset.matrix(families)
     labels = dataset.labels
     x_train = matrix[split.train_indices]

@@ -1,4 +1,6 @@
-"""CLI tests (generate → report / waste / summarize)."""
+"""CLI tests (generate → report / waste / summarize / telemetry)."""
+
+import json
 
 import pytest
 
@@ -49,3 +51,92 @@ class TestCommands:
         assert main(["waste", str(cli_corpus), "--trees", "8"]) == 0
         out = capsys.readouterr().out
         assert "RF:Validation" in out
+
+    def test_waste_columns_are_three_decimals(self, cli_corpus, capsys):
+        main(["waste", str(cli_corpus), "--trees", "8"])
+        out = capsys.readouterr().out
+        table_rows = [line for line in out.splitlines()
+                      if line.startswith("RF:")]
+        assert table_rows
+        for line in table_rows:
+            cells = [c.strip() for c in line.split("|")[1:]]
+            for cell in cells:
+                if cell and cell != "nan":
+                    assert len(cell.split(".")[-1]) == 3, line
+
+    def test_waste_small_corpus_fails_structured(self, tmp_path, capsys):
+        path = tmp_path / "tiny.db"
+        assert main(["generate", "--pipelines", "1", "--max-graphlets",
+                     "2", "--out", str(path)]) == 0
+        code = main(["waste", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "corpus_too_small" in err
+        assert "n_rows=0" in err
+
+
+class TestObservabilityFlags:
+    def test_generate_exports_metrics_and_trace(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.db"
+        metrics = tmp_path / "metrics.jsonl"
+        trace = tmp_path / "spans.jsonl"
+        code = main(["generate", "--pipelines", "6", "--seed", "3",
+                     "--max-graphlets", "8", "--out", str(corpus),
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)])
+        assert code == 0
+        records = [json.loads(line)
+                   for line in metrics.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert "mlmd.ops" in names
+        assert "corpus.pipeline_seconds" in names
+        assert "runtime.run_cpu_hours" in names
+        put_events = [r for r in records if r["name"] == "mlmd.ops"
+                      and r["labels"] == {"op": "put_event"}]
+        assert put_events[0]["value"] > 0
+        spans = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        span_names = {s["name"] for s in spans}
+        assert {"corpus.generate", "corpus.pipeline", "runtime.run",
+                "runtime.node"} <= span_names
+
+    def test_report_accepts_obs_flags(self, cli_corpus, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["report", str(cli_corpus), "--metrics-out",
+                     str(metrics), "--quiet"]) == 0
+        names = {json.loads(line)["name"]
+                 for line in metrics.read_text().splitlines()}
+        assert "analysis.segmentation_seconds" in names
+        assert "graphlets.segmented" in names
+
+    def test_verbose_flag_accepted(self, cli_corpus, capsys):
+        assert main(["summarize", str(cli_corpus), "-v"]) == 0
+        assert main(["summarize", str(cli_corpus), "--quiet"]) == 0
+
+    def test_telemetry_renders_export(self, cli_corpus, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        trace = tmp_path / "spans.jsonl"
+        assert main(["waste", str(cli_corpus), "--trees", "8",
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+        assert "Histograms" in out
+        assert "mlmd.ops" in out
+        assert "waste.train_variant_seconds" in out
+        assert main(["telemetry", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Spans" in out
+        assert "waste.train_variant" in out
+
+    def test_telemetry_missing_file_fails(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nope.jsonl")]) == 2
+        assert "telemetry_unreadable" in capsys.readouterr().err
+
+    def test_telemetry_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["telemetry", str(path)]) == 0
+        assert "no telemetry records" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Unit tests for the metrics registry (counters/histograms/timers)."""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    RESERVOIR_SIZE,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    timed,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_same_name_and_labels_share_state(self, registry):
+        registry.counter("ops", op="put").inc()
+        registry.counter("ops", op="put").inc()
+        assert registry.counter("ops", op="put").value == 2
+
+    def test_labels_distinguish_instruments(self, registry):
+        registry.counter("ops", op="put").inc()
+        assert registry.counter("ops", op="get").value == 0
+
+    def test_export_record(self, registry):
+        registry.counter("ops", op="put").inc(3)
+        record = registry.counter("ops", op="put").to_dict()
+        assert record == {"kind": "counter", "name": "ops",
+                          "labels": {"op": "put"}, "value": 3.0}
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self, registry):
+        hist = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.sum == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_percentiles_exact_when_under_reservoir(self, registry):
+        hist = registry.histogram("h")
+        for value in range(1, 101):
+            hist.record(float(value))
+        assert hist.percentile(50) == pytest.approx(50.5)
+        assert hist.percentile(99) == pytest.approx(99.01, abs=0.5)
+
+    def test_reservoir_bounds_memory(self):
+        hist = Histogram("h", {}, reservoir_size=64)
+        for value in range(10_000):
+            hist.record(float(value))
+        assert hist.count == 10_000
+        assert len(hist._reservoir) == 64
+        # The reservoir is a uniform sample, so the median estimate
+        # lands in the middle half of the range.
+        assert 2_000 < hist.percentile(50) < 8_000
+
+    def test_empty_summary(self, registry):
+        summary = registry.histogram("h").summary()
+        assert summary["count"] == 0
+        assert summary["p95"] == 0.0
+
+    def test_summary_keys(self, registry):
+        hist = registry.histogram("h")
+        hist.record(1.0)
+        assert set(hist.summary()) == {"count", "sum", "mean", "min",
+                                       "max", "p50", "p95", "p99"}
+
+
+class TestTimer:
+    def test_records_elapsed_seconds(self, registry):
+        with registry.timer("t") as timer:
+            time.sleep(0.01)
+        hist = registry.histogram("t")
+        assert hist.count == 1
+        assert timer.elapsed >= 0.01
+        assert hist.sum == pytest.approx(timer.elapsed)
+
+    def test_records_even_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timer("t"):
+                raise RuntimeError("boom")
+        assert registry.histogram("t").count == 1
+
+    def test_timed_decorator_uses_global_registry(self, registry):
+        previous = set_registry(registry)
+        try:
+            @timed("calls", fn="f")
+            def f():
+                return 41 + 1
+
+            assert f() == 42
+            assert registry.histogram("calls", fn="f").count == 1
+        finally:
+            set_registry(previous)
+
+
+class TestRegistry:
+    def test_snapshot_covers_all_kinds(self, registry):
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").record(1.0)
+        kinds = {record["kind"] for record in registry.snapshot()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_jsonl_round_trip(self, registry, tmp_path):
+        registry.counter("ops", op="put").inc(7)
+        registry.histogram("lat").record(0.25)
+        path = tmp_path / "metrics.jsonl"
+        registry.export_jsonl(path)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["ops"]["value"] == 7
+        assert by_name["lat"]["count"] == 1
+        assert by_name["lat"]["p50"] == pytest.approx(0.25)
+        assert all(
+            math.isfinite(v) for r in records for v in r.values()
+            if isinstance(v, float))
+
+    def test_reset_drops_instruments(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == []
+
+    def test_global_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
