@@ -7,6 +7,10 @@ Commands:
 * ``waste`` — train the Section 5 policy variants and print Table 3 /
   Figure 10 summaries.
 * ``summarize`` — type-level summary of a pipeline's trace.
+* ``diagnose`` — explain one pipeline from telemetry persisted in the
+  store: critical path, top cost sinks, waste attribution, push outcome.
+* ``dashboard`` — fleet-level report from persisted telemetry: operator
+  duration distributions, graphlet cost CDF, waste share, regressions.
 * ``telemetry`` — render a telemetry JSONL file produced by
   ``--metrics-out`` / ``--trace-out``.
 
@@ -45,10 +49,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     config = CorpusConfig(n_pipelines=args.pipelines, seed=args.seed,
                           max_graphlets_per_pipeline=args.max_graphlets)
     print(f"generating {args.pipelines} pipelines (seed {args.seed}) ...")
-    corpus = generate_corpus(config, progress=True)
+    corpus = generate_corpus(config, progress=True,
+                             telemetry=args.telemetry)
     save_store(corpus.store, args.out)
     print(f"saved {corpus.store.num_executions:,} executions / "
-          f"{corpus.store.num_artifacts:,} artifacts to {args.out}")
+          f"{corpus.store.num_artifacts:,} artifacts / "
+          f"{corpus.store.num_telemetry:,} telemetry rows to {args.out}")
     return 0
 
 
@@ -136,6 +142,209 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------- diagnose / dashboard
+
+
+def _resolve_pipeline_context(store, name: str | None):
+    """The Context to diagnose: by name, or the costliest production one."""
+    contexts = store.get_contexts("Pipeline")
+    if name is not None:
+        for context in contexts:
+            if context.name == name:
+                return context
+        return None
+    if not contexts:
+        return None
+    from .corpus.generator import production_context_ids_from_store
+
+    production = set(production_context_ids_from_store(store))
+    candidates = [c for c in contexts if c.id in production] or contexts
+
+    def pipeline_cost(context) -> float:
+        return sum(float(e.get("cpu_hours", 0.0))
+                   for e in store.get_executions_by_context(context.id))
+
+    return max(candidates, key=pipeline_cost)
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .mlmd import load_store
+    from .obs.diagnosis import diagnose_pipeline
+    from .reporting import bar_chart, format_table
+
+    store = load_store(args.corpus)
+    context = _resolve_pipeline_context(store, args.pipeline)
+    if context is None:
+        _log.error("pipeline_not_found", corpus=args.corpus,
+                   pipeline=args.pipeline or "(none in corpus)")
+        return 1
+    try:
+        diagnosis = diagnose_pipeline(store, context.id,
+                                      graphlet_index=args.graphlet,
+                                      top_k=args.top)
+    except IndexError as exc:
+        _log.error("graphlet_out_of_range", reason=str(exc))
+        return 1
+
+    print(f"pipeline {diagnosis.pipeline!r} (context {context.id}) — "
+          f"{diagnosis.n_executions} executions, "
+          f"{diagnosis.total_cpu_hours:.1f} cpu-hours, "
+          f"{len(diagnosis.graphlets)} graphlets, "
+          f"{diagnosis.n_pushes} pushed")
+
+    if diagnosis.graphlets:
+        rows = [(g.index, g.trainer_execution_id, g.model_type,
+                 "yes" if g.pushed else "no",
+                 "yes" if g.trainer_failed else "no",
+                 g.n_executions, f"{g.cpu_hours:.2f}",
+                 f"{g.duration_hours:.2f}")
+                for g in diagnosis.graphlets]
+        print()
+        print(format_table(
+            ("#", "trainer", "model", "pushed", "failed", "execs",
+             "cpu h", "wall h"), rows, title="Graphlets"))
+
+    if diagnosis.critical is not None:
+        critical = diagnosis.critical
+        rows = []
+        for step, execution_id in enumerate(critical.execution_ids):
+            execution = store.get_execution(execution_id)
+            rows.append((step, execution.type_name, execution_id,
+                         f"{execution.start_time:.2f}",
+                         f"{execution.duration:.3f}",
+                         f"{float(execution.get('cpu_hours', 0.0)):.3f}"))
+        print()
+        print(format_table(
+            ("step", "operator", "exec", "start h", "dur h", "cpu h"),
+            rows,
+            title=f"Critical path — graphlet "
+                  f"{diagnosis.target_graphlet_index}"))
+        print(f"path duration {critical.duration_hours:.2f} h of "
+              f"graphlet wall {critical.graphlet_duration_hours:.2f} h "
+              f"(slack {critical.slack_hours:.2f} h)")
+
+    if diagnosis.sinks:
+        total = max(diagnosis.total_cpu_hours, 1e-12)
+        rows = [(execution.type_name, execution.id, f"{cost:.3f}",
+                 f"{cost / total:.1%}")
+                for execution, cost in diagnosis.sinks]
+        print()
+        print(format_table(("operator", "exec", "cpu h", "share"), rows,
+                           title=f"Top {len(rows)} cost sinks"))
+
+    split = diagnosis.split
+    print()
+    print(bar_chart(
+        {bucket: value for bucket, value in (
+            ("useful", split.useful), ("wasted", split.wasted),
+            ("protected", split.protected),
+            ("unattributed", split.unattributed)) if value > 0},
+        title="Compute attribution (cpu-hours, waste labels)"))
+    print(f"attributed {split.total:.3f} of recorded "
+          f"{diagnosis.total_cpu_hours:.3f} cpu-hours")
+    print(f"telemetry coverage: {diagnosis.telemetry_rows}/"
+          f"{diagnosis.n_executions} executions with persisted rows "
+          f"({diagnosis.telemetry_coverage:.0%})")
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from .analysis import cdf_points
+    from .corpus import Corpus
+    from .graphlets import segment_pipeline
+    from .mlmd import load_store
+    from .obs.diagnosis import (find_regressions, operator_stats,
+                                pipeline_cost_split)
+    from .obs.provenance import METRIC_KIND, NODE_KIND, RUN_KIND
+    from .reporting import bar_chart, curve, format_table, histogram
+
+    store = load_store(args.corpus)
+    if store.num_telemetry == 0:
+        _log.error("no_persisted_telemetry", corpus=args.corpus,
+                   hint="regenerate with `repro generate --telemetry`")
+        return 2
+    node_rows = store.get_telemetry(kind=NODE_KIND)
+    run_rows = store.get_telemetry(kind=RUN_KIND)
+    metric_rows = store.get_telemetry(kind=METRIC_KIND)
+    corpus = Corpus.from_store(store)
+    production = corpus.production_context_ids
+    print(f"fleet: {len(store.get_contexts('Pipeline'))} pipelines "
+          f"({len(production)} production), "
+          f"{store.num_executions:,} executions, "
+          f"{store.num_telemetry:,} telemetry rows "
+          f"({len(node_rows):,} node / {len(run_rows):,} run / "
+          f"{len(metric_rows):,} metric)")
+
+    wall = operator_stats(store, metric="wall_seconds")
+    cpu = operator_stats(store, metric="cpu_hours")
+    if wall:
+        rows = [(s.name, s.count, f"{s.total:.3g}", f"{s.p50:.3g}",
+                 f"{s.p95:.3g}", f"{s.p99:.3g}")
+                for s in sorted(wall.values(), key=lambda s: -s.total)]
+        print()
+        print(format_table(
+            ("operator", "count", "total s", "p50 s", "p95 s", "p99 s"),
+            rows, title="Operator wall time (persisted node telemetry)"))
+        print()
+        print(histogram([r.value for r in node_rows], bins=8, log=True,
+                        title="Node wall-time histogram (s, log bins)"))
+    if cpu:
+        print()
+        print(bar_chart(
+            {s.name: s.total
+             for s in sorted(cpu.values(), key=lambda s: -s.total)},
+            title="Operator compute (cpu-hours)"))
+
+    costs: list[float] = []
+    useful = wasted = protected = unattributed = 0.0
+    for context_id in production:
+        graphlets = segment_pipeline(store, context_id)
+        costs.extend(g.total_cpu_hours for g in graphlets)
+        split = pipeline_cost_split(store, context_id, graphlets)
+        useful += split.useful
+        wasted += split.wasted
+        protected += split.protected
+        unattributed += split.unattributed
+    if costs:
+        print()
+        print(curve(cdf_points(costs), title="Graphlet cost CDF",
+                    x_label="cpu-hours", y_label="fraction"))
+    fleet_total = useful + wasted + protected + unattributed
+    if fleet_total > 0:
+        print()
+        print(bar_chart(
+            {bucket: value / fleet_total for bucket, value in (
+                ("useful", useful), ("wasted", wasted),
+                ("protected", protected),
+                ("unattributed", unattributed)) if value > 0},
+            value_format="{:.1%}",
+            title=f"Waste share of {fleet_total:.1f} production "
+                  f"cpu-hours"))
+
+    if args.baseline:
+        baseline = load_store(args.baseline)
+        if baseline.num_telemetry == 0:
+            _log.error("no_persisted_telemetry", corpus=args.baseline,
+                       hint="baseline lacks telemetry rows")
+            return 2
+        flags = find_regressions(baseline, store,
+                                 threshold=args.threshold)
+        print()
+        if not flags:
+            print(f"no operator p95 regressions vs {args.baseline} "
+                  f"(threshold {args.threshold:.0%})")
+        else:
+            rows = [(f.operator, f.metric, f"{f.baseline_p95:.4g}",
+                     f"{f.current_p95:.4g}", f"{f.ratio:.2f}x")
+                    for f in flags]
+            print(format_table(
+                ("operator", "metric", "baseline p95", "current p95",
+                 "drift"), rows,
+                title=f"Regression flags vs {args.baseline} "
+                      f"(threshold {args.threshold:.0%})"))
+    return 0
+
+
 # ------------------------------------------------------------- telemetry
 
 
@@ -143,10 +352,27 @@ def _label_text(labels: dict) -> str:
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
 
 
+def _num(record: dict, key: str, fmt: str = "{:.4g}") -> str:
+    """Format a possibly-missing / ``None`` numeric field (``-`` then)."""
+    value = record.get(key)
+    if value is None:
+        return "-"
+    try:
+        return fmt.format(float(value))
+    except (TypeError, ValueError):
+        return "-"
+
+
 def _render_telemetry(records: list[dict]) -> str:
-    """Render exported metrics/span records as tables and charts."""
+    """Render exported metrics/span records as tables and charts.
+
+    Tolerant by design: partially-written exports (missing fields,
+    ``None`` percentiles of empty histograms) render as ``-`` instead
+    of crashing the reader.
+    """
     from .reporting import bar_chart, format_table
 
+    records = [r for r in records if isinstance(r, dict)]
     counters = [r for r in records if r.get("kind") == "counter"]
     gauges = [r for r in records if r.get("kind") == "gauge"]
     histograms = [r for r in records if r.get("kind") == "histogram"]
@@ -154,13 +380,16 @@ def _render_telemetry(records: list[dict]) -> str:
     sections: list[str] = []
 
     if counters:
-        rows = [(c["name"], _label_text(c["labels"]), f"{c['value']:,.0f}")
+        rows = [(c.get("name", "-"), _label_text(c.get("labels", {})),
+                 _num(c, "value", "{:,.0f}"))
                 for c in counters]
         sections.append(format_table(("counter", "labels", "value"), rows,
                                      title="Counters"))
         op_counts = {
-            _label_text(c["labels"]) or c["name"]: c["value"]
-            for c in counters if c["name"] == "mlmd.ops" and c["value"] > 0
+            _label_text(c.get("labels", {})) or c.get("name", "-"):
+                c.get("value", 0)
+            for c in counters
+            if c.get("name") == "mlmd.ops" and c.get("value", 0) > 0
         }
         if op_counts:
             sections.append(bar_chart(
@@ -168,16 +397,17 @@ def _render_telemetry(records: list[dict]) -> str:
                 title="Store ops", value_format="{:,.0f}"))
 
     if gauges:
-        rows = [(g["name"], _label_text(g["labels"]), f"{g['value']:.3f}")
+        rows = [(g.get("name", "-"), _label_text(g.get("labels", {})),
+                 _num(g, "value", "{:.3f}"))
                 for g in gauges]
         sections.append(format_table(("gauge", "labels", "value"), rows,
                                      title="Gauges"))
 
     if histograms:
         rows = [
-            (h["name"], _label_text(h["labels"]), h["count"],
-             f"{h['mean']:.4g}", f"{h['p50']:.4g}", f"{h['p95']:.4g}",
-             f"{h['p99']:.4g}", f"{h['sum']:.4g}")
+            (h.get("name", "-"), _label_text(h.get("labels", {})),
+             h.get("count", 0), _num(h, "mean"), _num(h, "p50"),
+             _num(h, "p95"), _num(h, "p99"), _num(h, "sum"))
             for h in histograms
         ]
         sections.append(format_table(
@@ -187,8 +417,12 @@ def _render_telemetry(records: list[dict]) -> str:
     if spans:
         by_name: dict[str, list[float]] = {}
         for record in spans:
-            by_name.setdefault(record["name"], []).append(
-                float(record["duration"]))
+            try:
+                duration = float(record.get("duration", 0.0))
+            except (TypeError, ValueError):
+                continue
+            by_name.setdefault(str(record.get("name", "-")),
+                               []).append(duration)
         rows = []
         for name, durations in sorted(by_name.items(),
                                       key=lambda kv: -sum(kv[1])):
@@ -217,8 +451,15 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
                 if not line:
                     continue
                 try:
-                    records.append(json.loads(line))
+                    record = json.loads(line)
                 except json.JSONDecodeError:
+                    bad_lines += 1
+                    continue
+                # A telemetry record is a JSON object; a bare scalar or
+                # array is a malformed/truncated line, not a record.
+                if isinstance(record, dict):
+                    records.append(record)
+                else:
                     bad_lines += 1
     except OSError as exc:
         _log.error("telemetry_unreadable", file=args.file,
@@ -261,6 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=7)
     generate.add_argument("--max-graphlets", type=int, default=60)
     generate.add_argument("--out", default="corpus.db")
+    generate.add_argument("--telemetry", default=True,
+                          action=argparse.BooleanOptionalAction,
+                          help="persist per-execution telemetry rows "
+                               "into the corpus database (default on; "
+                               "--no-telemetry disables)")
     generate.set_defaults(fn=_cmd_generate)
 
     report = sub.add_parser("report", parents=[obs_flags],
@@ -280,6 +526,32 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("--pipeline", default=None,
                            help="pipeline name (default: whole corpus)")
     summarize.set_defaults(fn=_cmd_summarize)
+
+    diagnose = sub.add_parser("diagnose", parents=[obs_flags],
+                              help="explain one pipeline: critical "
+                                   "path, cost sinks, waste split")
+    diagnose.add_argument("corpus")
+    diagnose.add_argument("--pipeline", default=None,
+                          help="pipeline name (default: costliest "
+                               "production pipeline)")
+    diagnose.add_argument("--graphlet", type=int, default=None,
+                          help="graphlet index for the critical path "
+                               "(default: most expensive graphlet)")
+    diagnose.add_argument("--top", type=int, default=5,
+                          help="cost sinks to show (default 5)")
+    diagnose.set_defaults(fn=_cmd_diagnose)
+
+    dashboard = sub.add_parser("dashboard", parents=[obs_flags],
+                               help="fleet report from telemetry "
+                                    "persisted in the store")
+    dashboard.add_argument("corpus")
+    dashboard.add_argument("--baseline", default=None,
+                           help="second corpus DB to diff operator "
+                                "p95s against")
+    dashboard.add_argument("--threshold", type=float, default=0.2,
+                           help="p95 drift fraction that flags a "
+                                "regression (default 0.2)")
+    dashboard.set_defaults(fn=_cmd_dashboard)
 
     telemetry = sub.add_parser("telemetry", parents=[obs_flags],
                                help="render an exported telemetry "

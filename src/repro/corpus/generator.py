@@ -218,8 +218,8 @@ def _truncate(schema, n: int):
 
 def generate_corpus(config: CorpusConfig | None = None,
                     progress: bool = False,
-                    progress_callback: ProgressCallback | None = None
-                    ) -> Corpus:
+                    progress_callback: ProgressCallback | None = None,
+                    telemetry: bool = False) -> Corpus:
     """Generate a full corpus per the configuration.
 
     Deterministic given ``config.seed``. With ``progress=True`` (and no
@@ -227,10 +227,19 @@ def generate_corpus(config: CorpusConfig | None = None,
     (corpus generation at bench scale takes tens of seconds). Pass
     ``progress_callback`` for custom reporting; it is invoked after
     every pipeline with the metrics-derived completion count.
+
+    With ``telemetry=True`` a provenance-aware sink is attached to the
+    store before simulation, so every execution gains a joinable
+    telemetry row and a final metrics snapshot is persisted — the
+    input ``repro diagnose`` / ``repro dashboard`` query.
     """
     config = config or CorpusConfig()
     rng = np.random.default_rng(config.seed)
     store = MetadataStore()
+    sink = None
+    if telemetry:
+        from ..obs.provenance import attach_sink
+        sink = attach_sink(store)
     corpus = Corpus(store=store, config=config)
     corpus_span_hours = config.corpus_span_days * 24.0
     if progress_callback is None and progress:
@@ -266,7 +275,13 @@ def generate_corpus(config: CorpusConfig | None = None,
             if progress_callback is not None:
                 progress_callback(int(pipelines_done.value - done_base),
                                   config.n_pipelines, store)
+    if sink is not None:
+        # Persist the fleet-level instrument snapshot so dashboards can
+        # read op counts and wall-time histograms out of the corpus
+        # database instead of a side-channel JSONL file.
+        sink.record_registry(registry)
     _log.info("corpus_generated", pipelines=len(corpus.records),
               executions=store.num_executions,
-              artifacts=store.num_artifacts, events=store.num_events)
+              artifacts=store.num_artifacts, events=store.num_events,
+              telemetry=store.num_telemetry)
     return corpus

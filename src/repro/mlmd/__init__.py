@@ -43,6 +43,7 @@ from .types import (
     ExecutionState,
     Properties,
     PropertyValue,
+    TelemetryRecord,
     validate_properties,
 )
 
@@ -60,6 +61,7 @@ __all__ = [
     "MetadataStore",
     "NotFoundError",
     "Properties",
+    "TelemetryRecord",
     "TraceNode",
     "TypeSummary",
     "PropertyValue",

@@ -24,6 +24,7 @@ from .types import (
     EventType,
     Execution,
     ExecutionState,
+    TelemetryRecord,
 )
 
 _SCHEMA = """
@@ -66,6 +67,17 @@ CREATE TABLE IF NOT EXISTS associations (
     context_id INTEGER NOT NULL,
     execution_id INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS telemetry (
+    id INTEGER PRIMARY KEY,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    execution_id INTEGER,
+    context_id INTEGER,
+    value REAL NOT NULL,
+    start_time REAL NOT NULL,
+    end_time REAL NOT NULL,
+    properties TEXT NOT NULL
+);
 """
 
 
@@ -79,7 +91,8 @@ def save_store(store: MetadataStore, path: str | Path) -> None:
         path.unlink()
     registry = get_registry()
     registry.counter("mlmd.save_store_rows").inc(
-        store.num_artifacts + store.num_executions + store.num_events)
+        store.num_artifacts + store.num_executions + store.num_events
+        + store.num_telemetry)
     conn = sqlite3.connect(path)
     with span("mlmd.save_store", path=str(path)), \
             registry.timer("mlmd.save_store_seconds"):
@@ -133,6 +146,14 @@ def _write_all(conn: sqlite3.Connection, store: MetadataStore) -> None:
                      attribution_rows)
     conn.executemany("INSERT INTO associations VALUES (?,?)",
                      association_rows)
+    conn.executemany(
+        "INSERT INTO telemetry VALUES (?,?,?,?,?,?,?,?,?)",
+        [
+            (t.id, t.kind, t.name, t.execution_id, t.context_id, t.value,
+             t.start_time, t.end_time, json.dumps(t.properties))
+            for t in store.get_telemetry()
+        ],
+    )
     conn.commit()
 
 
@@ -187,6 +208,21 @@ def _read_all(conn: sqlite3.Connection,
         for row in conn.execute(
                 "SELECT context_id, execution_id FROM associations"):
             store.put_association(id_map_c[row[0]], id_map_e[row[1]])
+        try:
+            telemetry_rows = conn.execute(
+                "SELECT kind, name, execution_id, context_id, value,"
+                " start_time, end_time, properties FROM telemetry"
+                " ORDER BY id").fetchall()
+        except sqlite3.OperationalError:
+            # Databases written before the telemetry table existed.
+            telemetry_rows = []
+        for row in telemetry_rows:
+            store.put_telemetry(TelemetryRecord(
+                kind=row[0], name=row[1],
+                execution_id=None if row[2] is None else id_map_e[row[2]],
+                context_id=None if row[3] is None else id_map_c[row[3]],
+                value=row[4], start_time=row[5], end_time=row[6],
+                properties=json.loads(row[7])))
     finally:
         conn.close()
     return store

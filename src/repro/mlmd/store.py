@@ -24,6 +24,7 @@ from .types import (
     Event,
     EventType,
     Execution,
+    TelemetryRecord,
     validate_properties,
 )
 
@@ -60,6 +61,15 @@ class MetadataStore:
         self._context_executions: dict[int, list[int]] = defaultdict(list)
         self._artifact_contexts: dict[int, list[int]] = defaultdict(list)
         self._execution_contexts: dict[int, list[int]] = defaultdict(list)
+        # Telemetry rows, indexed by the node they describe so spans
+        # and costs are joinable to executions/contexts in O(degree).
+        self._telemetry: dict[int, TelemetryRecord] = {}
+        self._next_telemetry_id = 1
+        self._telemetry_of_execution: dict[int, list[int]] = defaultdict(list)
+        self._telemetry_of_context: dict[int, list[int]] = defaultdict(list)
+        # Optional provenance-aware sink (set by obs.provenance); the
+        # runtime emits into it when present.
+        self.telemetry_sink = None
         # Name uniqueness per (kind, type_name, name).
         self._named_nodes: dict[tuple[str, str, str], int] = {}
         # Op counters, bound once so the hot path pays one attribute add
@@ -79,6 +89,8 @@ class MetadataStore:
                                                      op="put_association")
         self._ops_get_node = registry.counter("mlmd.ops", op="get_node")
         self._ops_lineage = registry.counter("mlmd.ops", op="lineage")
+        self._ops_put_telemetry = registry.counter("mlmd.ops",
+                                                   op="put_telemetry")
 
     # ------------------------------------------------------------------ put
 
@@ -162,6 +174,38 @@ class MetadataStore:
         self._context_executions[context_id].append(execution_id)
         self._execution_contexts[execution_id].append(context_id)
 
+    def put_telemetry(self, record: TelemetryRecord) -> int:
+        """Insert a telemetry record; returns its id.
+
+        ``execution_id`` / ``context_id``, when set, must refer to
+        existing nodes — that referential integrity is what keeps
+        telemetry joinable to the provenance graph.
+        """
+        self._ops_put_telemetry.value += 1
+        validate_properties(record.properties)
+        if record.execution_id is not None \
+                and record.execution_id not in self._executions:
+            raise NotFoundError(
+                f"execution id {record.execution_id} not found")
+        if record.context_id is not None \
+                and record.context_id not in self._contexts:
+            raise NotFoundError(f"context id {record.context_id} not found")
+        fresh = record.id == -1
+        if fresh:
+            record.id = self._next_telemetry_id
+            self._next_telemetry_id += 1
+        elif record.id not in self._telemetry:
+            raise NotFoundError(f"telemetry id {record.id} not found")
+        self._telemetry[record.id] = record
+        if fresh:
+            if record.execution_id is not None:
+                self._telemetry_of_execution[record.execution_id].append(
+                    record.id)
+            if record.context_id is not None:
+                self._telemetry_of_context[record.context_id].append(
+                    record.id)
+        return record.id
+
     # ------------------------------------------------------------------ get
 
     def get_artifact(self, artifact_id: int) -> Artifact:
@@ -214,6 +258,32 @@ class MetadataStore:
     def get_events(self) -> list[Event]:
         """Return all events (the raw trace edges)."""
         return list(self._events)
+
+    # ---------------------------------------------------------- telemetry
+
+    def get_telemetry(self, kind: str | None = None,
+                      name: str | None = None) -> list[TelemetryRecord]:
+        """All telemetry records, optionally filtered by kind and name."""
+        rows = self._telemetry.values()
+        if kind is not None:
+            rows = (r for r in rows if r.kind == kind)
+        if name is not None:
+            rows = (r for r in rows if r.name == name)
+        return list(rows)
+
+    def get_telemetry_by_execution(self, execution_id: int
+                                   ) -> list[TelemetryRecord]:
+        """Telemetry rows describing one execution (insertion order)."""
+        self._ops_lineage.value += 1
+        return [self._telemetry[i]
+                for i in self._telemetry_of_execution.get(execution_id, ())]
+
+    def get_telemetry_by_context(self, context_id: int
+                                 ) -> list[TelemetryRecord]:
+        """Telemetry rows attached to one context (insertion order)."""
+        self._ops_lineage.value += 1
+        return [self._telemetry[i]
+                for i in self._telemetry_of_context.get(context_id, ())]
 
     # --------------------------------------------------------- adjacency
 
@@ -286,6 +356,11 @@ class MetadataStore:
     def num_events(self) -> int:
         """Total events (trace edges) in the store."""
         return len(self._events)
+
+    @property
+    def num_telemetry(self) -> int:
+        """Total telemetry records in the store."""
+        return len(self._telemetry)
 
     # ------------------------------------------------------------ helpers
 

@@ -156,6 +156,46 @@ class Context:
         return self.properties.get(key, default)
 
 
+@dataclass
+class TelemetryRecord:
+    """One telemetry measurement persisted alongside the trace.
+
+    Telemetry rows make the observability layer *queryable through the
+    provenance graph*: a ``node`` row carries the execution id it
+    describes, so wall time and compute cost join back to the
+    execution, its artifacts, and (after segmentation) its graphlet.
+
+    Attributes:
+        kind: Record shape — ``"node"`` (one operator execution),
+            ``"run"`` (one pipeline run), or ``"metric"`` (a persisted
+            instrument snapshot, e.g. fleet-level op counters).
+        name: Measurement name; by convention the operator type for
+            ``node`` rows, the run kind for ``run`` rows, and the
+            instrument name for ``metric`` rows.
+        id: Store-assigned identifier (``-1`` until the record is put).
+        execution_id: The execution this row describes (``node`` rows).
+        context_id: The owning pipeline context, when known.
+        value: The primary measurement (wall seconds for node/run rows).
+        start_time / end_time: Simulated timestamps (hours), mirroring
+            :class:`Execution` so rows are time-joinable without a hop.
+        properties: Secondary measurements (cpu_hours, status, ...).
+    """
+
+    kind: str
+    name: str
+    id: int = -1
+    execution_id: int | None = None
+    context_id: int | None = None
+    value: float = 0.0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    properties: Properties = field(default_factory=dict)
+
+    def get(self, key: str, default: PropertyValue | None = None):
+        """Return property ``key`` or ``default`` when absent."""
+        return self.properties.get(key, default)
+
+
 _ALLOWED_SCALARS = (int, float, str, bool)
 
 

@@ -11,9 +11,18 @@ package makes the reproduction emit its own. Three pieces:
   disabled path near-free.
 * :mod:`repro.obs.logging` — structured ``key=value`` logging on stdlib
   ``logging``.
+* :mod:`repro.obs.provenance` — a :class:`TelemetrySink` persisting
+  per-node / per-run telemetry *into the MLMD store*, keyed by
+  execution id (queryable through the provenance graph).
+* :mod:`repro.obs.diagnosis` — the query layer over that joined view:
+  critical paths, cost sinks, waste attribution, p95 regressions.
 
 Everything exports as JSON Lines so ``repro telemetry`` (and any other
 consumer) can read one schema; see README "Observability".
+
+The provenance/diagnosis names are loaded lazily (module
+``__getattr__``): they import :mod:`repro.mlmd`, which itself imports
+``repro.obs.metrics``, and an eager import here would close that loop.
 """
 
 from .logging import (
@@ -41,6 +50,36 @@ from .tracing import (
     span,
 )
 
+_LAZY_EXPORTS = {
+    "TelemetrySink": "provenance",
+    "attach_sink": "provenance",
+    "detach_sink": "provenance",
+    "CostSplit": "diagnosis",
+    "CriticalPath": "diagnosis",
+    "OperatorStats": "diagnosis",
+    "PipelineDiagnosis": "diagnosis",
+    "RegressionFlag": "diagnosis",
+    "critical_path": "diagnosis",
+    "diagnose_pipeline": "diagnosis",
+    "find_regressions": "diagnosis",
+    "operator_stats": "diagnosis",
+    "pipeline_cost_split": "diagnosis",
+    "top_cost_sinks": "diagnosis",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(
+            f".{_LAZY_EXPORTS[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -60,4 +99,5 @@ __all__ = [
     "set_tracer",
     "span",
     "timed",
+    *sorted(_LAZY_EXPORTS),
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import functools
 import json
 import random
+import threading
 import time
 import zlib
 from pathlib import Path
@@ -53,18 +54,25 @@ def _labels_key(labels: dict[str, str]) -> LabelsKey:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "labels", "value")
+    :meth:`inc` is thread-safe. Single-threaded hot paths (the store's
+    op counters) may keep mutating ``.value`` directly; parallel
+    callers must go through :meth:`inc`.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str]) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        """Add ``amount`` (default 1) to the counter."""
-        self.value += amount
+        """Add ``amount`` (default 1) to the counter (thread-safe)."""
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict:
         """The JSONL export record."""
@@ -75,20 +83,22 @@ class Counter:
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str]) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value``."""
         self.value = float(value)
 
     def add(self, amount: float) -> None:
-        """Adjust the gauge by ``amount``."""
-        self.value += amount
+        """Adjust the gauge by ``amount`` (thread-safe)."""
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict:
         """The JSONL export record."""
@@ -105,7 +115,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "count", "sum", "min", "max",
-                 "_reservoir", "_reservoir_size", "_rng")
+                 "_reservoir", "_reservoir_size", "_rng", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str],
                  reservoir_size: int = RESERVOIR_SIZE) -> None:
@@ -121,33 +131,42 @@ class Histogram:
         # (str hashing is randomized per process, so not hash()).
         self._rng = random.Random(zlib.crc32(
             repr((name,) + _labels_key(labels)).encode()))
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (thread-safe)."""
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self._reservoir) < self._reservoir_size:
-            self._reservoir.append(value)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self._reservoir_size:
-                self._reservoir[slot] = value
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._reservoir) < self._reservoir_size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._reservoir_size:
+                    self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observations."""
         return self.sum / self.count if self.count else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Approximate ``q``-th percentile (0..100) from the reservoir."""
-        if not self._reservoir:
-            return 0.0
+    def percentile(self, q: float) -> float | None:
+        """Approximate ``q``-th percentile (0..100) from the reservoir.
+
+        Well-defined on the edges: ``None`` with zero observations (no
+        percentile exists, and pretending it is 0.0 poisons downstream
+        aggregation), the single value with one observation.
+        """
         ordered = sorted(self._reservoir)
+        if not ordered:
+            return None
+        if len(ordered) == 1:
+            return ordered[0]
         rank = (q / 100.0) * (len(ordered) - 1)
         lo = int(rank)
         hi = min(lo + 1, len(ordered) - 1)
@@ -155,10 +174,14 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> dict:
-        """count/sum/mean/min/max plus p50/p95/p99."""
+        """count/sum/mean/min/max plus p50/p95/p99.
+
+        Percentiles are ``None`` on an empty histogram; min/max stay
+        0.0 there to keep exports JSON-finite.
+        """
         if not self.count:
             return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
-                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                    "max": 0.0, "p50": None, "p95": None, "p99": None}
         return {
             "count": self.count,
             "sum": self.sum,
@@ -211,29 +234,44 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, LabelsKey], Counter] = {}
         self._gauges: dict[tuple[str, LabelsKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelsKey], Histogram] = {}
+        # Guards get-or-create: two threads asking for the same new
+        # instrument must receive the same object (a lost insert would
+        # silently fork the metric). Lookups hit the fast path first and
+        # only take the lock on a miss.
+        self._lock = threading.Lock()
 
     def counter(self, name: str, **labels: str) -> Counter:
-        """Get or create the counter ``(name, labels)``."""
+        """Get or create the counter ``(name, labels)`` (thread-safe)."""
         key = (name, _labels_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, labels)
+            with self._lock:
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = self._counters[key] = Counter(name, labels)
         return instrument
 
     def gauge(self, name: str, **labels: str) -> Gauge:
-        """Get or create the gauge ``(name, labels)``."""
+        """Get or create the gauge ``(name, labels)`` (thread-safe)."""
         key = (name, _labels_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, labels)
+            with self._lock:
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = self._gauges[key] = Gauge(name, labels)
         return instrument
 
     def histogram(self, name: str, **labels: str) -> Histogram:
-        """Get or create the histogram ``(name, labels)``."""
+        """Get or create the histogram ``(name, labels)`` (thread-safe)."""
         key = (name, _labels_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(name, labels)
+            with self._lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = self._histograms[key] = Histogram(name,
+                                                                   labels)
         return instrument
 
     def timer(self, name: str, **labels: str) -> Timer:

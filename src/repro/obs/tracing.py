@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import contextvars
 import json
+import threading
 import time
 from pathlib import Path
 
@@ -183,10 +184,15 @@ class Tracer:
         self._current: contextvars.ContextVar[Span | None] = \
             contextvars.ContextVar("repro_obs_span", default=None)
         self._id = 0
+        # Guards the id sequence; ``contextvars`` already isolates the
+        # parent chain per thread, and list.append is atomic under the
+        # GIL, so ids are the only cross-thread mutable state.
+        self._id_lock = threading.Lock()
 
     def _next_id(self) -> int:
-        self._id += 1
-        return self._id
+        with self._id_lock:
+            self._id += 1
+            return self._id
 
     def span(self, name: str, **attrs) -> _SpanContext:
         """Open a span; use as ``with tracer.span("name", k=v) as s:``."""

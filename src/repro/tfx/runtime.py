@@ -143,9 +143,15 @@ class PipelineRunner:
                         self._last_result.get(node.node_id)
                         in ("ok", "blocking"))
         tracer = get_tracer()
+        # Provenance-aware telemetry: when the store carries a sink,
+        # every node/run measurement is also persisted as telemetry
+        # rows keyed by execution id (see repro.obs.provenance).
+        sink = self.store.telemetry_sink
+        run_wall_start = perf_counter() if sink is not None else 0.0
         with tracer.span("runtime.run", pipeline=self.pipeline.name,
                          kind=kind, run_index=self._run_index) as run_span:
             tracing = tracer.enabled
+            measuring = tracing or sink is not None
             for node in self._topo:
                 if kind == INGEST_STAGE and node.stage != INGEST_STAGE:
                     report.node_status[node.node_id] = NOT_IN_STAGE
@@ -156,14 +162,28 @@ class PipelineRunner:
                 # Per-node spans use the direct record API: the
                 # context-manager path costs several µs per span, which
                 # at corpus scale breaks the ≤5% overhead budget.
-                if tracing:
+                if measuring:
                     wall_start = perf_counter()
                     status, duration = self._run_node(
                         node, cursor, hints, report, fresh_outputs)
-                    tracer.record_span(
-                        "runtime.node", wall_start, perf_counter(),
-                        parent_id=run_span.span_id, node=node.node_id,
-                        status=status)
+                    wall_end = perf_counter()
+                    if tracing:
+                        tracer.record_span(
+                            "runtime.node", wall_start, wall_end,
+                            parent_id=run_span.span_id, node=node.node_id,
+                            status=status)
+                    if sink is not None:
+                        execution_id = report.execution_ids.get(
+                            node.node_id)
+                        if execution_id is not None:
+                            sink.record_node(
+                                execution_id,
+                                operator=node.operator.name,
+                                wall_seconds=wall_end - wall_start,
+                                status=status,
+                                context_id=self.context_id,
+                                run_index=self._run_index,
+                                run_kind=kind)
                 else:
                     status, duration = self._run_node(
                         node, cursor, hints, report, fresh_outputs)
@@ -173,6 +193,13 @@ class PipelineRunner:
             run_span.set_attr("cpu_hours", report.total_cpu_hours)
             run_span.set_attr("pushed", report.pushed)
         report.finished_at = cursor
+        if sink is not None:
+            sink.record_run(
+                self.context_id, kind=kind, run_index=self._run_index,
+                wall_seconds=perf_counter() - run_wall_start,
+                cpu_hours=report.total_cpu_hours, pushed=report.pushed,
+                started_at=report.started_at, finished_at=cursor,
+                node_statuses=report.node_status)
         self._run_index += 1
         self._m_run_counts[kind].value += 1
         self._m_run_cpu_hours.record(report.total_cpu_hours)

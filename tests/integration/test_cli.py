@@ -140,3 +140,70 @@ class TestObservabilityFlags:
         path.write_text("")
         assert main(["telemetry", str(path)]) == 0
         assert "no telemetry records" in capsys.readouterr().out
+
+    def test_telemetry_skips_malformed_lines(self, tmp_path, capsys):
+        path = tmp_path / "partial.jsonl"
+        path.write_text("\n".join([
+            '{"kind": "counter", "name": "ok", "value": 3}',
+            "{truncated",
+            "[1, 2, 3]",  # valid JSON, not a record
+            '{"kind": "histogram", "name": "empty", "count": 0,'
+            ' "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,'
+            ' "p50": null, "p95": null, "p99": null}',
+        ]) + "\n")
+        assert main(["telemetry", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "ok" in captured.out
+        assert "-" in captured.out  # null percentiles render as dashes
+        assert "telemetry_bad_lines" in captured.err
+
+
+class TestDiagnoseDashboard:
+    def test_diagnose_prints_all_sections(self, cli_corpus, capsys):
+        assert main(["diagnose", str(cli_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "Graphlets" in out
+        assert "Critical path" in out
+        assert "cost sinks" in out
+        assert "Compute attribution" in out
+        assert "telemetry coverage" in out
+
+    def test_diagnose_attribution_reconciles(self, cli_corpus, capsys):
+        main(["diagnose", str(cli_corpus)])
+        out = capsys.readouterr().out
+        (line,) = [x for x in out.splitlines()
+                   if x.startswith("attributed ")]
+        attributed, recorded = float(line.split()[1]), float(line.split()[4])
+        assert attributed == pytest.approx(recorded, rel=0.01)
+
+    def test_diagnose_unknown_pipeline(self, cli_corpus, capsys):
+        assert main(["diagnose", str(cli_corpus),
+                     "--pipeline", "nope"]) == 1
+        assert "pipeline_not_found" in capsys.readouterr().err
+
+    def test_diagnose_graphlet_out_of_range(self, cli_corpus, capsys):
+        assert main(["diagnose", str(cli_corpus),
+                     "--graphlet", "9999"]) == 1
+        assert "graphlet_out_of_range" in capsys.readouterr().err
+
+    def test_dashboard_renders_fleet_views(self, cli_corpus, capsys):
+        assert main(["dashboard", str(cli_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "Operator wall time" in out
+        assert "Operator compute (cpu-hours)" in out
+        assert "Graphlet cost CDF" in out
+
+    def test_dashboard_needs_persisted_telemetry(self, tmp_path, capsys):
+        path = tmp_path / "quiet.db"
+        assert main(["generate", "--pipelines", "2", "--max-graphlets",
+                     "4", "--no-telemetry", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["dashboard", str(path)]) == 2
+        assert "no_persisted_telemetry" in capsys.readouterr().err
+
+    def test_dashboard_self_baseline_has_no_regressions(self, cli_corpus,
+                                                        capsys):
+        assert main(["dashboard", str(cli_corpus),
+                     "--baseline", str(cli_corpus)]) == 0
+        assert "no operator p95 regressions" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Telemetry records in the store: integrity, indexes, persistence."""
+
+import sqlite3
+
+import pytest
+
+from repro.mlmd import (
+    Artifact,
+    Context,
+    Execution,
+    MetadataStore,
+    NotFoundError,
+    TelemetryRecord,
+    load_store,
+    save_store,
+)
+
+
+@pytest.fixture()
+def store():
+    return MetadataStore()
+
+
+def _execution(store, type_name="Trainer"):
+    return store.put_execution(Execution(type_name=type_name))
+
+
+class TestPutGet:
+    def test_assigns_ids(self, store):
+        first = store.put_telemetry(TelemetryRecord("node", "Trainer"))
+        second = store.put_telemetry(TelemetryRecord("run", "train"))
+        assert (first, second) == (1, 2)
+        assert store.num_telemetry == 2
+
+    def test_filters_by_kind_and_name(self, store):
+        store.put_telemetry(TelemetryRecord("node", "Trainer"))
+        store.put_telemetry(TelemetryRecord("node", "Pusher"))
+        store.put_telemetry(TelemetryRecord("run", "train"))
+        assert len(store.get_telemetry()) == 3
+        assert len(store.get_telemetry(kind="node")) == 2
+        assert [r.name for r in store.get_telemetry(kind="node",
+                                                    name="Pusher")] \
+            == ["Pusher"]
+
+    def test_execution_join_index(self, store):
+        execution_id = _execution(store)
+        store.put_telemetry(TelemetryRecord(
+            "node", "Trainer", execution_id=execution_id, value=1.5))
+        rows = store.get_telemetry_by_execution(execution_id)
+        assert [r.value for r in rows] == [1.5]
+        assert store.get_telemetry_by_execution(999) == []
+
+    def test_context_join_index(self, store):
+        context_id = store.put_context(Context(type_name="Pipeline",
+                                               name="p"))
+        store.put_telemetry(TelemetryRecord(
+            "run", "train", context_id=context_id))
+        assert len(store.get_telemetry_by_context(context_id)) == 1
+
+    def test_referential_integrity(self, store):
+        with pytest.raises(NotFoundError):
+            store.put_telemetry(TelemetryRecord(
+                "node", "Trainer", execution_id=42))
+        with pytest.raises(NotFoundError):
+            store.put_telemetry(TelemetryRecord(
+                "run", "train", context_id=42))
+
+    def test_update_existing_does_not_duplicate_index(self, store):
+        execution_id = _execution(store)
+        record = TelemetryRecord("node", "Trainer",
+                                 execution_id=execution_id)
+        store.put_telemetry(record)
+        record.value = 2.0
+        store.put_telemetry(record)
+        assert store.num_telemetry == 1
+        assert len(store.get_telemetry_by_execution(execution_id)) == 1
+
+    def test_properties_validated(self, store):
+        with pytest.raises(TypeError):
+            store.put_telemetry(TelemetryRecord(
+                "node", "Trainer", properties={"bad": object()}))
+
+
+class TestSqliteRoundTrip:
+    def _populated(self):
+        store = MetadataStore()
+        context_id = store.put_context(Context(type_name="Pipeline",
+                                               name="p"))
+        execution_id = _execution(store)
+        store.put_artifact(Artifact(type_name="Model"))
+        store.put_telemetry(TelemetryRecord(
+            "node", "Trainer", execution_id=execution_id,
+            context_id=context_id, value=0.25, start_time=1.0,
+            end_time=2.0, properties={"cpu_hours": 3.5, "status": "ran"}))
+        store.put_telemetry(TelemetryRecord(
+            "metric", "mlmd.ops", value=7.0,
+            properties={"metric_kind": "counter"}))
+        return store, context_id, execution_id
+
+    def test_round_trip_preserves_rows_and_joins(self, tmp_path):
+        store, context_id, execution_id = self._populated()
+        path = tmp_path / "t.db"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.num_telemetry == 2
+        node = loaded.get_telemetry(kind="node")[0]
+        assert node.name == "Trainer"
+        assert node.value == 0.25
+        assert node.start_time == 1.0
+        assert node.properties == {"cpu_hours": 3.5, "status": "ran"}
+        assert loaded.get_telemetry_by_execution(execution_id) == [node]
+        assert loaded.get_telemetry_by_context(context_id) == [node]
+        metric = loaded.get_telemetry(kind="metric")[0]
+        assert metric.execution_id is None
+        assert metric.context_id is None
+
+    def test_loads_databases_without_telemetry_table(self, tmp_path):
+        # Corpora written before this schema existed must still load.
+        store, _, _ = self._populated()
+        path = tmp_path / "old.db"
+        save_store(store, path)
+        conn = sqlite3.connect(path)
+        conn.execute("DROP TABLE telemetry")
+        conn.commit()
+        conn.close()
+        loaded = load_store(path)
+        assert loaded.num_telemetry == 0
+        assert loaded.num_executions == 1

@@ -84,7 +84,21 @@ class TestHistogram:
     def test_empty_summary(self, registry):
         summary = registry.histogram("h").summary()
         assert summary["count"] == 0
-        assert summary["p95"] == 0.0
+        # No observations: percentiles are None, never a fabricated 0.
+        assert summary["p50"] is None
+        assert summary["p95"] is None
+        assert summary["p99"] is None
+
+    def test_percentile_edge_cases(self, registry):
+        hist = registry.histogram("h")
+        for q in (0, 50, 95, 99, 100):
+            assert hist.percentile(q) is None
+        hist.record(4.25)
+        for q in (0, 50, 95, 99, 100):
+            assert hist.percentile(q) == pytest.approx(4.25)
+        summary = hist.summary()
+        assert summary["p50"] == pytest.approx(4.25)
+        assert summary["p99"] == pytest.approx(4.25)
 
     def test_summary_keys(self, registry):
         hist = registry.histogram("h")
@@ -157,3 +171,48 @@ class TestRegistry:
         finally:
             set_registry(previous)
         assert get_registry() is previous
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    N_OPS = 2_000
+
+    def _hammer(self, worker):
+        import threading
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_concurrent_counter_increments_are_not_lost(self, registry):
+        counter = registry.counter("c")
+
+        def worker():
+            for _ in range(self.N_OPS):
+                counter.inc()
+
+        self._hammer(worker)
+        assert counter.value == self.N_THREADS * self.N_OPS
+
+    def test_concurrent_histogram_records_keep_count(self, registry):
+        hist = registry.histogram("h")
+
+        def worker():
+            for index in range(self.N_OPS):
+                hist.record(float(index))
+
+        self._hammer(worker)
+        assert hist.count == self.N_THREADS * self.N_OPS
+        assert len(hist._reservoir) <= RESERVOIR_SIZE
+
+    def test_concurrent_get_or_create_yields_one_instrument(self, registry):
+        instruments = []
+
+        def worker():
+            for _ in range(200):
+                instruments.append(registry.counter("shared", op="x"))
+
+        self._hammer(worker)
+        assert len(set(map(id, instruments))) == 1

@@ -1,0 +1,135 @@
+"""Provenance-aware telemetry sink: runtime wiring and record shapes."""
+
+import numpy as np
+import pytest
+
+from repro.data import random_schema, synthetic_span
+from repro.mlmd import MetadataStore
+from repro.obs import MetricsRegistry
+from repro.obs.provenance import (
+    METRIC_KIND,
+    NODE_KIND,
+    RUN_KIND,
+    TelemetrySink,
+    attach_sink,
+    detach_sink,
+)
+from repro.tfx import (
+    ExampleGen,
+    NodeInput,
+    PipelineDef,
+    PipelineNode,
+    PipelineRunner,
+    Pusher,
+    Trainer,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+def _pipeline():
+    return PipelineDef("sink-test", [
+        PipelineNode("gen", ExampleGen(), stage="ingest"),
+        PipelineNode("trainer", Trainer(),
+                     inputs={"spans": NodeInput("gen", "span", window=2)}),
+        PipelineNode("pusher", Pusher(),
+                     inputs={"model": NodeInput("trainer", "model")}),
+    ])
+
+
+def _hints(schema, rng, span_id, now=0.0):
+    return {
+        "new_span": synthetic_span(schema, span_id, 500, rng,
+                                   ingest_time=now),
+        "model_quality": 0.9,
+        "model_blessed": True,
+        "push_throttled": False,
+    }
+
+
+class TestAttach:
+    def test_attach_is_idempotent(self):
+        store = MetadataStore()
+        sink = attach_sink(store)
+        assert attach_sink(store) is sink
+        assert store.telemetry_sink is sink
+        detach_sink(store)
+        assert store.telemetry_sink is None
+
+    def test_fresh_store_has_no_sink(self):
+        assert MetadataStore().telemetry_sink is None
+
+
+class TestRuntimeEmission:
+    def test_every_execution_gets_a_node_row(self, rng):
+        store = MetadataStore()
+        attach_sink(store)
+        runner = PipelineRunner(_pipeline(), store, rng, simulation=True)
+        schema = random_schema(rng, n_features=4)
+        for index in range(3):
+            runner.run(index * 24.0, kind="train",
+                       hints=_hints(schema, rng, index, index * 24.0))
+        node_rows = store.get_telemetry(kind=NODE_KIND)
+        executed = {e.id for e in store.get_executions()}
+        assert {r.execution_id for r in node_rows} == executed
+        for row in node_rows:
+            execution = store.get_execution(row.execution_id)
+            assert row.name == execution.type_name
+            assert row.value >= 0.0
+            assert row.start_time == execution.start_time
+            assert row.end_time == execution.end_time
+            assert row.get("cpu_hours") == execution.get("cpu_hours")
+            assert row.get("status") in ("ran", "failed")
+            assert row.context_id == runner.context_id
+
+    def test_run_rows_carry_rollups(self, rng):
+        store = MetadataStore()
+        attach_sink(store)
+        runner = PipelineRunner(_pipeline(), store, rng, simulation=True)
+        schema = random_schema(rng, n_features=4)
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0))
+        (row,) = store.get_telemetry(kind=RUN_KIND)
+        assert row.name == "train"
+        assert row.context_id == runner.context_id
+        assert row.get("cpu_hours") == pytest.approx(
+            report.total_cpu_hours)
+        assert row.get("pushed") == report.pushed
+        assert row.get("nodes_ran") == sum(
+            1 for s in report.node_status.values() if s == "ran")
+        assert row.start_time == report.started_at
+        assert row.end_time == report.finished_at
+
+    def test_no_sink_no_rows(self, rng):
+        store = MetadataStore()
+        runner = PipelineRunner(_pipeline(), store, rng, simulation=True)
+        schema = random_schema(rng, n_features=4)
+        runner.run(0.0, kind="train", hints=_hints(schema, rng, 0))
+        assert store.num_telemetry == 0
+
+
+class TestRegistrySnapshot:
+    def test_persists_instruments_as_metric_rows(self):
+        store = MetadataStore()
+        registry = MetricsRegistry()
+        registry.counter("ops", op="put").inc(3)
+        registry.histogram("lat").record(0.5)
+        rows_written = TelemetrySink(store).record_registry(registry)
+        assert rows_written == 2
+        rows = {r.name: r for r in store.get_telemetry(kind=METRIC_KIND)}
+        assert rows["ops"].value == 3.0
+        assert rows["ops"].get("label_op") == "put"
+        assert rows["lat"].value == 1.0
+        assert rows["lat"].get("p50") == pytest.approx(0.5)
+
+    def test_empty_histogram_percentiles_omitted(self):
+        store = MetadataStore()
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        TelemetrySink(store).record_registry(registry)
+        (row,) = store.get_telemetry(kind=METRIC_KIND)
+        assert row.value == 0.0
+        assert row.get("p50") is None
