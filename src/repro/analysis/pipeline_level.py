@@ -283,6 +283,34 @@ def cost_breakdown(store: MetadataStore,
     return {group: cost / total for group, cost in costs.items()}
 
 
+def cached_execution_stats(store: MetadataStore,
+                           context_ids: Iterable[int]) -> dict[str, float]:
+    """Cache-served execution share and saved compute (Section 5).
+
+    The paper reports cached executions fleet-wide as the measurable
+    form of its redundancy claim; with the execution cache enabled
+    (``repro generate --exec-cache``) the trace records them as
+    ``CACHED`` executions carrying a ``saved_cpu_hours`` property, and
+    this aggregate is the fleet-wide roll-up. All zeros on corpora
+    generated without the cache.
+    """
+    cached = 0
+    total = 0
+    saved = 0.0
+    for cid in context_ids:
+        for execution in store.get_executions_by_context(cid):
+            total += 1
+            if execution.state.value == "cached":
+                cached += 1
+                saved += float(execution.get("saved_cpu_hours", 0.0))
+    return {
+        "cached_executions": cached,
+        "total_executions": total,
+        "cached_fraction": cached / total if total else 0.0,
+        "saved_cpu_hours": saved,
+    }
+
+
 def failure_cost(store: MetadataStore,
                  context_ids: Iterable[int]) -> dict[str, float]:
     """Compute spent on failed executions, and upstream-of-failure cost.

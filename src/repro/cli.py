@@ -48,9 +48,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
     config = CorpusConfig(n_pipelines=args.pipelines, seed=args.seed,
                           max_graphlets_per_pipeline=args.max_graphlets)
-    print(f"generating {args.pipelines} pipelines (seed {args.seed}) ...")
-    corpus = generate_corpus(config, progress=True,
-                             telemetry=args.telemetry)
+    # --workers (any value, including 1) or --exec-cache selects the
+    # fleet path: sharded generation with per-pipeline derived seeds.
+    # Without either flag the legacy sequential generator runs, keeping
+    # existing seeds' corpora byte-identical.
+    use_fleet = args.workers is not None or args.exec_cache
+    if use_fleet:
+        from .fleet import generate_corpus_fleet
+
+        workers = args.workers or 1
+        print(f"generating {args.pipelines} pipelines "
+              f"(seed {args.seed}, {workers} workers"
+              f"{', exec cache' if args.exec_cache else ''}) ...")
+        corpus, fleet = generate_corpus_fleet(
+            config, workers=workers, exec_cache=args.exec_cache,
+            telemetry=args.telemetry, progress=True)
+        print(f"fleet: {fleet.workers} shards in "
+              f"{fleet.wall_seconds:.1f}s"
+              + ("" if fleet.used_processes or fleet.workers == 1
+                 else " (process pool unavailable; ran in-process)"))
+        if fleet.exec_cache:
+            print(f"exec cache: {fleet.cache_hits:,} hits / "
+                  f"{fleet.cache_hits + fleet.cache_misses:,} cacheable "
+                  f"({fleet.cache_hit_rate:.1%} hit rate), "
+                  f"saved {fleet.saved_cpu_hours:.1f} cpu-hours")
+    else:
+        print(f"generating {args.pipelines} pipelines "
+              f"(seed {args.seed}) ...")
+        corpus = generate_corpus(config, progress=True,
+                                 telemetry=args.telemetry)
     save_store(corpus.store, args.out)
     print(f"saved {corpus.store.num_executions:,} executions / "
           f"{corpus.store.num_artifacts:,} artifacts / "
@@ -92,6 +118,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
                         "(.75,1]", "mean"), rows))
     print(f"\nunpushed graphlet fraction: "
           f"{report['unpushed_fraction']:.1%}")
+    cached = report["cached_stats"]
+    if cached["cached_executions"]:
+        print(f"cached executions: {cached['cached_executions']:,} of "
+              f"{cached['total_executions']:,} "
+              f"({cached['cached_fraction']:.1%}), saved "
+              f"{cached['saved_cpu_hours']:.1f} cpu-hours")
     return 0
 
 
@@ -242,6 +274,10 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         title="Compute attribution (cpu-hours, waste labels)"))
     print(f"attributed {split.total:.3f} of recorded "
           f"{diagnosis.total_cpu_hours:.3f} cpu-hours")
+    if diagnosis.n_cached:
+        print(f"cached executions: {diagnosis.n_cached} "
+              f"(cache saved {diagnosis.saved_cpu_hours:.3f} cpu-hours "
+              f"on top of the recorded total)")
     print(f"telemetry coverage: {diagnosis.telemetry_rows}/"
           f"{diagnosis.n_executions} executions with persisted rows "
           f"({diagnosis.telemetry_coverage:.0%})")
@@ -507,6 +543,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="persist per-execution telemetry rows "
                                "into the corpus database (default on; "
                                "--no-telemetry disables)")
+    generate.add_argument("--workers", type=int, default=None,
+                          metavar="N",
+                          help="sharded generation across N worker "
+                               "processes (fleet path: per-pipeline "
+                               "derived seeds, deterministic for any "
+                               "N; default: legacy sequential "
+                               "generator)")
+    generate.add_argument("--exec-cache", action="store_true",
+                          help="enable the content-addressed execution "
+                               "cache: redundant re-executions are "
+                               "replayed as CACHED executions with "
+                               "saved cpu-hours recorded (implies the "
+                               "fleet path)")
     generate.set_defaults(fn=_cmd_generate)
 
     report = sub.add_parser("report", parents=[obs_flags],

@@ -116,15 +116,40 @@ def production_context_ids_from_store(store: MetadataStore) -> list[int]:
     return out
 
 
+def sample_pipeline_plan(rng: np.random.Generator, config: CorpusConfig,
+                         index: int) -> tuple[PipelineArchetype, float]:
+    """Sample one pipeline's archetype and corpus start time.
+
+    This is the exact per-pipeline draw sequence of the sequential
+    generator (feature count, categorical fraction, archetype, start
+    time), factored out so sharded generation (:mod:`repro.fleet`) can
+    replay it against a per-pipeline derived rng. Keep the draw order
+    stable: both paths' determinism depends on it.
+    """
+    n_features = sample_feature_count(rng)
+    categorical_fraction = float(np.clip(
+        rng.normal(CATEGORICAL_FRACTION, 0.15), 0.05, 0.95))
+    archetype = sample_archetype(rng, config, index, n_features,
+                                 categorical_fraction)
+    corpus_span_hours = config.corpus_span_days * 24.0
+    latest_start = max(corpus_span_hours
+                       - archetype.lifespan_days * 24.0, 0.0)
+    start_time = float(rng.uniform(0.0, latest_start)) \
+        if latest_start > 0 else 0.0
+    return archetype, start_time
+
+
 def _simulate_pipeline(store: MetadataStore, config: CorpusConfig,
                        archetype: PipelineArchetype,
                        rng: np.random.Generator,
-                       start_time: float) -> PipelineRecord:
+                       start_time: float,
+                       execution_cache=None) -> PipelineRecord:
     pipeline = build_pipeline(archetype)
     runner = PipelineRunner(
         pipeline, store, rng, simulation=True,
         cost_model=config.cost_model,
-        pipeline_cost_scale=archetype.pipeline_cost_scale)
+        pipeline_cost_scale=archetype.pipeline_cost_scale,
+        execution_cache=execution_cache)
     schema = random_schema(
         rng, n_features=archetype.n_features,
         categorical_fraction=archetype.categorical_fraction,
@@ -241,7 +266,6 @@ def generate_corpus(config: CorpusConfig | None = None,
         from ..obs.provenance import attach_sink
         sink = attach_sink(store)
     corpus = Corpus(store=store, config=config)
-    corpus_span_hours = config.corpus_span_days * 24.0
     if progress_callback is None and progress:
         progress_callback = print_progress_every(50)
     registry = get_registry()
@@ -252,15 +276,8 @@ def generate_corpus(config: CorpusConfig | None = None,
     with span("corpus.generate", n_pipelines=config.n_pipelines,
               seed=config.seed):
         for index in range(config.n_pipelines):
-            n_features = sample_feature_count(rng)
-            categorical_fraction = float(np.clip(
-                rng.normal(CATEGORICAL_FRACTION, 0.15), 0.05, 0.95))
-            archetype = sample_archetype(rng, config, index, n_features,
-                                         categorical_fraction)
-            latest_start = max(corpus_span_hours
-                               - archetype.lifespan_days * 24.0, 0.0)
-            start_time = float(rng.uniform(0.0, latest_start)) \
-                if latest_start > 0 else 0.0
+            archetype, start_time = sample_pipeline_plan(rng, config,
+                                                         index)
             with span("corpus.pipeline", index=index,
                       archetype=archetype.name), \
                     registry.timer("corpus.pipeline_seconds") as timer:

@@ -1,0 +1,45 @@
+"""Sharded parallel corpus execution with a content-addressed cache.
+
+The subsystem has three parts, surfaced via
+``repro generate --workers N --exec-cache``:
+
+* :mod:`repro.fleet.workers` — partition the corpus into per-worker
+  shards with derived per-pipeline seeds, simulate each shard in its
+  own process and store, and return serialized shards.
+* :mod:`repro.fleet.merge` — fold shard stores into one
+  :class:`~repro.mlmd.MetadataStore` with full id remapping, preserving
+  referential integrity for every downstream analysis.
+* :mod:`repro.fleet.cache` — a content-addressed execution cache that
+  turns the paper's graphlet-similarity observation (Table 1 /
+  Section 5) into replayed ``CACHED`` executions with measured saved
+  cpu-hours.
+"""
+
+from .cache import CacheEntry, CachedOutput, ExecutionCache
+from .merge import MergeMaps, StoreSnapshot, merge_snapshot, snapshot_store
+from .workers import (
+    FleetReport,
+    ShardResult,
+    ShardSpec,
+    generate_corpus_fleet,
+    pipeline_rng,
+    plan_shards,
+    run_shard,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CachedOutput",
+    "ExecutionCache",
+    "FleetReport",
+    "MergeMaps",
+    "ShardResult",
+    "ShardSpec",
+    "StoreSnapshot",
+    "generate_corpus_fleet",
+    "merge_snapshot",
+    "pipeline_rng",
+    "plan_shards",
+    "run_shard",
+    "snapshot_store",
+]

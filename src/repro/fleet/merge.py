@@ -1,0 +1,123 @@
+"""Merge shard stores into one MetadataStore with id remapping.
+
+Worker processes simulate disjoint pipeline shards into private stores
+(:mod:`repro.fleet.workers`); this module folds those shards back into
+a single trace. Every node is re-inserted through the destination
+store's ``put_*`` API — ids are reassigned by the destination and every
+cross-reference (events, attributions, associations, telemetry join
+keys) is remapped through the resulting id maps, mirroring the
+remapping discipline of :func:`repro.mlmd.sqlite_store.load_store`.
+Referential integrity is therefore enforced *by the store itself* while
+merging: a dangling edge raises instead of silently corrupting the
+trace, so ``Corpus.from_store``, graphlet segmentation, and
+``repro diagnose`` work on merged stores unchanged.
+
+Determinism: snapshots list nodes in id (= insertion) order, and the
+fleet merges shards in shard order. Pipelines insert their rows
+contiguously, so merging contiguous shards in order reproduces the
+exact id assignment of a single-worker run — the basis of the
+workers=1 vs workers=N equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..mlmd.store import MetadataStore
+from ..mlmd.types import Artifact, Context, Event, Execution, TelemetryRecord
+
+__all__ = ["MergeMaps", "StoreSnapshot", "merge_snapshot", "snapshot_store"]
+
+
+@dataclass
+class StoreSnapshot:
+    """A store's contents as plain picklable rows (no locks, no sink).
+
+    ``MetadataStore`` itself cannot cross a process boundary (its bound
+    metric instruments hold locks); a snapshot carries only dataclass
+    rows plus the membership pairs needed to rebuild context joins.
+    """
+
+    artifacts: list[Artifact] = field(default_factory=list)
+    executions: list[Execution] = field(default_factory=list)
+    contexts: list[Context] = field(default_factory=list)
+    events: list[Event] = field(default_factory=list)
+    attributions: list[tuple[int, int]] = field(default_factory=list)
+    associations: list[tuple[int, int]] = field(default_factory=list)
+    telemetry: list[TelemetryRecord] = field(default_factory=list)
+
+
+@dataclass
+class MergeMaps:
+    """Shard-local id → merged id, per node kind."""
+
+    artifact_ids: dict[int, int] = field(default_factory=dict)
+    execution_ids: dict[int, int] = field(default_factory=dict)
+    context_ids: dict[int, int] = field(default_factory=dict)
+
+
+def snapshot_store(store: MetadataStore) -> StoreSnapshot:
+    """Capture a store's rows for transport to another process.
+
+    Node lists come back in id order (`dict` preserves insertion order
+    and ids are assigned sequentially), which is what makes the merge
+    order-deterministic.
+    """
+    attributions = []
+    associations = []
+    for context in store.get_contexts():
+        attributions.extend(
+            (context.id, artifact.id)
+            for artifact in store.get_artifacts_by_context(context.id))
+        associations.extend(
+            (context.id, execution.id)
+            for execution in store.get_executions_by_context(context.id))
+    return StoreSnapshot(
+        artifacts=store.get_artifacts(),
+        executions=store.get_executions(),
+        contexts=store.get_contexts(),
+        events=store.get_events(),
+        attributions=attributions,
+        associations=associations,
+        telemetry=store.get_telemetry())
+
+
+def merge_snapshot(dest: MetadataStore,
+                   snapshot: StoreSnapshot) -> MergeMaps:
+    """Fold one shard snapshot into ``dest``, remapping every id.
+
+    Rows are re-inserted in the snapshot's (insertion) order; the
+    destination assigns fresh ids and the returned maps let callers
+    translate shard-local references (e.g. a ``PipelineRecord``'s
+    context id) into the merged trace.
+    """
+    maps = MergeMaps()
+    for context in snapshot.contexts:
+        maps.context_ids[context.id] = dest.put_context(
+            dataclasses.replace(context, id=-1))
+    for artifact in snapshot.artifacts:
+        maps.artifact_ids[artifact.id] = dest.put_artifact(
+            dataclasses.replace(artifact, id=-1))
+    for execution in snapshot.executions:
+        maps.execution_ids[execution.id] = dest.put_execution(
+            dataclasses.replace(execution, id=-1))
+    for event in snapshot.events:
+        dest.put_event(Event(
+            artifact_id=maps.artifact_ids[event.artifact_id],
+            execution_id=maps.execution_ids[event.execution_id],
+            type=event.type, time=event.time))
+    for context_id, artifact_id in snapshot.attributions:
+        dest.put_attribution(maps.context_ids[context_id],
+                             maps.artifact_ids[artifact_id])
+    for context_id, execution_id in snapshot.associations:
+        dest.put_association(maps.context_ids[context_id],
+                             maps.execution_ids[execution_id])
+    for record in snapshot.telemetry:
+        dest.put_telemetry(dataclasses.replace(
+            record, id=-1,
+            execution_id=None if record.execution_id is None
+            else maps.execution_ids[record.execution_id],
+            context_id=None if record.context_id is None
+            else maps.context_ids[record.context_id]))
+    return maps

@@ -1,0 +1,318 @@
+"""Sharded parallel corpus generation.
+
+The sequential generator simulates every pipeline in one loop, threading
+a single random stream through all of them — correct, but neither
+parallel nor partitionable. The fleet path derives an *independent* rng
+per pipeline from ``(config.seed, pipeline index)`` via
+``SeedSequence.spawn_key``, which makes each pipeline's simulation a
+pure function of the config and its index. Pipelines can then be
+partitioned into contiguous shards, simulated in worker processes into
+private stores, and merged back (:mod:`repro.fleet.merge`) into a trace
+that is *identical* for any worker count with the same seed — the
+reproducible-pipeline discipline of Sugimura & Hartl applied to the
+corpus generator itself.
+
+Note the fleet path is intentionally a different (per-pipeline) seeding
+scheme from ``generate_corpus``'s shared-stream scheme: ``--workers 1``
+is the fleet's own sequential baseline, and existing seeds of the
+legacy path are untouched.
+
+Worker discipline:
+
+* Workers install a **fresh metrics registry** before simulating — a
+  forked child inherits the parent's counter values, and returning
+  those would double-count. The parent folds each shard's counter
+  snapshot back into its own registry, which is what keeps
+  ``corpus.pipelines_generated`` (and progress lines) correct under
+  multi-process generation. Histogram reservoirs are not folded back
+  (no lossless merge exists); fleet-level histograms reflect the
+  parent process only.
+* Workers return a :class:`~repro.fleet.merge.StoreSnapshot`, not a
+  ``MetadataStore`` — the store object is not picklable (its bound
+  instruments hold locks).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from ..corpus.config import CorpusConfig
+from ..corpus.generator import (Corpus, PipelineRecord, ProgressCallback,
+                                print_progress_every, sample_pipeline_plan,
+                                _simulate_pipeline)
+from ..mlmd import MetadataStore
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
+from .cache import ExecutionCache
+from .merge import StoreSnapshot, merge_snapshot, snapshot_store
+
+__all__ = [
+    "FleetReport",
+    "ShardResult",
+    "ShardSpec",
+    "generate_corpus_fleet",
+    "pipeline_rng",
+    "plan_shards",
+    "run_shard",
+]
+
+_log = get_logger("fleet.workers")
+
+
+def pipeline_rng(seed: int, index: int) -> np.random.Generator:
+    """The derived random stream of pipeline ``index``.
+
+    ``SeedSequence(entropy=seed, spawn_key=(index,))`` gives every
+    pipeline a statistically independent stream that depends only on
+    the corpus seed and the pipeline's global index — never on which
+    shard or worker simulates it.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,)))
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's contiguous slice of global pipeline indices."""
+
+    shard_index: int
+    start: int
+    stop: int
+
+    @property
+    def n_pipelines(self) -> int:
+        """Pipelines in this shard."""
+        return self.stop - self.start
+
+
+def plan_shards(n_pipelines: int, workers: int) -> list[ShardSpec]:
+    """Partition ``range(n_pipelines)`` into contiguous balanced shards.
+
+    Contiguity matters: merging contiguous shards in shard order
+    reproduces the sequential (workers=1) id assignment exactly.
+    """
+    if n_pipelines < 1:
+        raise ValueError("n_pipelines must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    workers = min(workers, n_pipelines)
+    base, extra = divmod(n_pipelines, workers)
+    shards = []
+    start = 0
+    for shard_index in range(workers):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(ShardSpec(shard_index=shard_index, start=start,
+                                stop=start + size))
+        start += size
+    return shards
+
+
+@dataclass
+class ShardResult:
+    """What one worker returns: the serialized shard plus its tallies."""
+
+    spec: ShardSpec
+    snapshot: StoreSnapshot
+    records: list[PipelineRecord]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    saved_cpu_hours: float = 0.0
+    counters: list[dict] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+def run_shard(spec: ShardSpec, config: CorpusConfig,
+              telemetry: bool = False,
+              exec_cache: bool = False) -> ShardResult:
+    """Simulate one shard into a private store (worker entry point).
+
+    Runs in a worker process (or inline for workers=1): installs a
+    fresh registry, simulates pipelines ``[spec.start, spec.stop)``
+    each on its derived rng, and returns a picklable snapshot.
+    """
+    started = perf_counter()
+    previous_registry = set_registry(MetricsRegistry())
+    try:
+        registry = get_registry()
+        pipelines_done = registry.counter("corpus.pipelines_generated")
+        store = MetadataStore()
+        if telemetry:
+            from ..obs.provenance import attach_sink
+            attach_sink(store)
+        records = []
+        hits = misses = 0
+        saved = 0.0
+        for index in range(spec.start, spec.stop):
+            rng = pipeline_rng(config.seed, index)
+            archetype, start_time = sample_pipeline_plan(rng, config,
+                                                         index)
+            # Per-pipeline cache scope: pipelines never share artifacts,
+            # and pipeline-local hits are shard-assignment-invariant.
+            cache = ExecutionCache() if exec_cache else None
+            with registry.timer("corpus.pipeline_seconds"):
+                record = _simulate_pipeline(
+                    store, config, archetype, rng, start_time,
+                    execution_cache=cache)
+            pipelines_done.value += 1
+            records.append(record)
+            if cache is not None:
+                hits += cache.hits
+                misses += cache.misses
+                saved += cache.saved_cpu_hours
+        counters = [record for record in registry.snapshot()
+                    if record["kind"] == "counter"]
+        return ShardResult(
+            spec=spec, snapshot=snapshot_store(store), records=records,
+            cache_hits=hits, cache_misses=misses, saved_cpu_hours=saved,
+            counters=counters,
+            elapsed_seconds=perf_counter() - started)
+    finally:
+        set_registry(previous_registry)
+
+
+@dataclass
+class FleetReport:
+    """Roll-up of one fleet generation run."""
+
+    workers: int
+    shards: list[ShardSpec]
+    pipelines: int
+    exec_cache: bool
+    cache_hits: int = 0
+    cache_misses: int = 0
+    saved_cpu_hours: float = 0.0
+    wall_seconds: float = 0.0
+    shard_seconds: list[float] = field(default_factory=list)
+    used_processes: bool = False
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cacheable executions (0.0 when cache disabled)."""
+        seen = self.cache_hits + self.cache_misses
+        return self.cache_hits / seen if seen else 0.0
+
+
+def _fold_counters(result: ShardResult) -> None:
+    """Fold one shard's counter snapshot into the parent registry.
+
+    This is what keeps multi-process counts honest: the shard counted
+    its own pipelines/executions in its private registry, and the
+    parent adds those totals to its instruments instead of reading a
+    registry the workers never touched.
+    """
+    registry = get_registry()
+    for record in result.counters:
+        if record["value"]:
+            registry.counter(record["name"],
+                             **record["labels"]).inc(record["value"])
+
+
+def generate_corpus_fleet(config: CorpusConfig | None = None,
+                          workers: int = 1,
+                          exec_cache: bool = False,
+                          telemetry: bool = False,
+                          progress: bool = False,
+                          progress_callback: ProgressCallback | None = None,
+                          in_process: bool = False
+                          ) -> tuple[Corpus, FleetReport]:
+    """Generate a corpus by sharded (optionally parallel) simulation.
+
+    Deterministic given ``config.seed`` for *any* ``workers`` value:
+    the merged store is identical (same ids, same rows) whether one
+    worker or eight simulated it. With ``exec_cache=True`` every runner
+    carries a content-addressed :class:`ExecutionCache` and redundant
+    re-executions are replayed as ``CACHED`` executions.
+
+    Args:
+        config: Corpus configuration (default ``CorpusConfig()``).
+        workers: Shard count; ``> 1`` simulates shards in worker
+            processes (falling back to in-process on pool failure).
+        exec_cache: Enable the content-addressed execution cache.
+        telemetry: Persist provenance telemetry rows, as in
+            :func:`repro.corpus.generate_corpus`.
+        progress: Print the classic progress line per merged shard.
+        progress_callback: Custom progress hook ``(done, total, store)``,
+            called after each shard is merged.
+        in_process: Force inline shard execution even for workers > 1
+            (deterministic tests without process spawn overhead).
+
+    Returns:
+        The merged :class:`Corpus` plus a :class:`FleetReport`.
+    """
+    config = config or CorpusConfig()
+    started = perf_counter()
+    shards = plan_shards(config.n_pipelines, workers)
+    if progress_callback is None and progress:
+        # Fleet progress is shard-granular, so report on every merge.
+        progress_callback = print_progress_every(1)
+    _log.info("fleet_generation_started", pipelines=config.n_pipelines,
+              workers=len(shards), seed=config.seed,
+              exec_cache=exec_cache)
+
+    used_processes = False
+    results: list[ShardResult]
+    if len(shards) == 1 or in_process:
+        results = [run_shard(spec, config, telemetry=telemetry,
+                             exec_cache=exec_cache) for spec in shards]
+    else:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=len(shards)) as pool:
+                futures = [pool.submit(run_shard, spec, config,
+                                       telemetry, exec_cache)
+                           for spec in shards]
+                results = [future.result() for future in futures]
+            used_processes = True
+        except (OSError, pickle.PicklingError,
+                concurrent.futures.process.BrokenProcessPool) as exc:
+            # No usable process pool (restricted sandbox, fork failure):
+            # the run degrades to inline shards, same result, no speedup.
+            _log.warning("fleet_pool_unavailable",
+                         reason=type(exc).__name__, fallback="in_process")
+            results = [run_shard(spec, config, telemetry=telemetry,
+                                 exec_cache=exec_cache)
+                       for spec in shards]
+
+    store = MetadataStore()
+    if telemetry:
+        from ..obs.provenance import attach_sink
+        attach_sink(store)
+    corpus = Corpus(store=store, config=config)
+    report = FleetReport(workers=len(shards), shards=shards,
+                         pipelines=config.n_pipelines,
+                         exec_cache=exec_cache,
+                         used_processes=used_processes)
+    done = 0
+    # Merge in shard order: contiguous shards re-inserted in order give
+    # the same global id assignment as a single-worker run.
+    for result in sorted(results, key=lambda r: r.spec.shard_index):
+        maps = merge_snapshot(store, result.snapshot)
+        for record in result.records:
+            record.context_id = maps.context_ids[record.context_id]
+            corpus.records.append(record)
+        _fold_counters(result)
+        report.cache_hits += result.cache_hits
+        report.cache_misses += result.cache_misses
+        report.saved_cpu_hours += result.saved_cpu_hours
+        report.shard_seconds.append(result.elapsed_seconds)
+        done += result.spec.n_pipelines
+        if progress_callback is not None:
+            progress_callback(done, config.n_pipelines, store)
+    if telemetry and store.telemetry_sink is not None:
+        # The fleet-level instrument snapshot (with folded-in shard
+        # counters) persists into the merged store, mirroring the
+        # sequential generator's end-of-run registry record.
+        store.telemetry_sink.record_registry(get_registry())
+    report.wall_seconds = perf_counter() - started
+    _log.info("fleet_generated", pipelines=len(corpus.records),
+              executions=store.num_executions, workers=len(shards),
+              used_processes=used_processes,
+              cache_hits=report.cache_hits,
+              saved_cpu_hours=round(report.saved_cpu_hours, 3),
+              wall_seconds=round(report.wall_seconds, 3))
+    return corpus, report

@@ -31,16 +31,27 @@ class TypeSummary:
         edge_counts: (source type, target type) → edge multiplicity,
             where execution→artifact edges are outputs and
             artifact→execution edges are inputs.
+        cached_executions: Executions served from the execution cache
+            (``ExecutionState.CACHED``) — the paper reports this
+            fraction fleet-wide as the redundancy it motivates
+            eliminating.
     """
 
     artifact_counts: dict[str, int] = field(default_factory=dict)
     execution_counts: dict[str, int] = field(default_factory=dict)
     edge_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    cached_executions: int = 0
 
     @property
     def node_count(self) -> int:
         """Total summary nodes (== number of distinct types)."""
         return len(self.artifact_counts) + len(self.execution_counts)
+
+    @property
+    def cached_fraction(self) -> float:
+        """Cache-served share of all executions (0.0 on empty traces)."""
+        total = sum(self.execution_counts.values())
+        return self.cached_executions / total if total else 0.0
 
     def render(self) -> str:
         """Human-readable summary listing."""
@@ -53,6 +64,9 @@ class TypeSummary:
         lines.append("edges:")
         for (src, dst), count in sorted(self.edge_counts.items()):
             lines.append(f"  {src} -> {dst} x{count}")
+        if self.cached_executions:
+            lines.append(f"cached executions: {self.cached_executions} "
+                         f"({self.cached_fraction:.1%})")
         return "\n".join(lines)
 
 
@@ -70,7 +84,9 @@ def summarize_by_type(store: MetadataStore,
 
     summary = TypeSummary(
         artifact_counts=dict(Counter(artifact_types.values())),
-        execution_counts=dict(Counter(execution_types.values())))
+        execution_counts=dict(Counter(execution_types.values())),
+        cached_executions=sum(1 for e in executions
+                              if e.state.value == "cached"))
     edges: Counter = Counter()
     for execution in executions:
         execution_type = execution_types[execution.id]

@@ -42,6 +42,12 @@ class ExecutionState(enum.Enum):
     ``FAILED`` executions stay in the trace: the paper's Section 3.3
     analysis of failure cost depends on failed executions being recorded
     along with the cost they incurred before failing.
+
+    ``CACHED`` records an execution whose outputs were served from the
+    execution cache instead of re-running the operator — TFX's cached
+    executions, the optimization the paper's Section 5 similarity
+    analysis motivates. Cached executions carry ``cpu_hours == 0`` plus
+    a ``saved_cpu_hours`` property (the cost the cache avoided).
     """
 
     NEW = "new"
@@ -50,6 +56,7 @@ class ExecutionState(enum.Enum):
     FAILED = "failed"
     SKIPPED = "skipped"
     CANCELED = "canceled"
+    CACHED = "cached"
 
 
 class EventType(enum.Enum):

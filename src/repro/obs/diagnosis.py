@@ -346,6 +346,8 @@ class PipelineDiagnosis:
     split: CostSplit
     n_pushes: int
     telemetry_rows: int
+    n_cached: int = 0
+    saved_cpu_hours: float = 0.0
 
     @property
     def telemetry_coverage(self) -> float:
@@ -412,4 +414,9 @@ def diagnose_pipeline(store: MetadataStore, context_id: int,
         sinks=top_cost_sinks(store, (e.id for e in executions), k=top_k),
         split=pipeline_cost_split(store, context_id, graphlets),
         n_pushes=sum(1 for g in graphlets if g.pushed),
-        telemetry_rows=len(node_rows))
+        telemetry_rows=len(node_rows),
+        n_cached=sum(1 for e in executions
+                     if e.state.value == "cached"),
+        saved_cpu_hours=sum(
+            float(e.get("saved_cpu_hours", 0.0)) for e in executions
+            if e.state.value == "cached"))

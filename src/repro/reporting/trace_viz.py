@@ -52,6 +52,7 @@ def render_trace(store: MetadataStore, context_id: int | None = None,
         status = {
             ExecutionState.COMPLETE: "ok  ",
             ExecutionState.FAILED: "FAIL",
+            ExecutionState.CACHED: "HIT ",
         }.get(execution.state, execution.state.value[:4])
         line = (f"t={execution.start_time:7.1f}h "
                 f"{execution.type_name}[{execution.id}] {status} ")

@@ -43,6 +43,7 @@ from .pipeline import (
 from .triggers import ManualTrigger, PeriodicTrigger
 from .runtime import (
     BLOCKED,
+    CACHED,
     FAILED,
     NOT_IN_STAGE,
     RAN,
@@ -53,6 +54,7 @@ from .runtime import (
 
 __all__ = [
     "BLOCKED",
+    "CACHED",
     "CostModel",
     "CustomOperator",
     "DNN_ARCHITECTURES",

@@ -100,6 +100,12 @@ class Operator:
         output_types: Output key → produced artifact type name.
         optional_inputs: Input keys that may be absent (e.g. a warm-start
             base model).
+        cache_safe: True when the operator is a pure function of its
+            input artifacts and configuration, so a previous execution's
+            outputs may be replayed by the execution cache
+            (:mod:`repro.fleet.cache`). Operators that draw randomness,
+            read mutable ``pipeline_state``, or depend on outcome hints
+            must leave this False.
     """
 
     name: str = "Operator"
@@ -107,11 +113,21 @@ class Operator:
     input_types: dict[str, str] = {}
     output_types: dict[str, str] = {}
     optional_inputs: frozenset[str] = frozenset()
+    cache_safe: bool = False
 
     def run(self, ctx: OperatorContext,
             inputs: dict[str, list[Artifact]]) -> OperatorResult:
         """Execute the operator; must be overridden."""
         raise NotImplementedError
+
+    def cache_params(self) -> tuple:
+        """Hashable configuration folded into execution-cache keys.
+
+        Two operator instances with equal ``name`` and ``cache_params()``
+        must behave identically on identical inputs; subclasses with
+        behavior-shaping constructor arguments override this.
+        """
+        return ()
 
     def validate_inputs(self, inputs: dict[str, list[Artifact]]) -> None:
         """Check resolved inputs against the declared types."""

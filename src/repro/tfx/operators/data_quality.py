@@ -27,6 +27,8 @@ class StatisticsGen(Operator):
     group = OperatorGroup.DATA_ANALYSIS_VALIDATION
     input_types = {"spans": A.DATA_SPAN}
     output_types = {"statistics": A.STATISTICS}
+    # Statistics are a pure function of the input spans.
+    cache_safe = True
 
     def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
         span_artifacts = inputs["spans"]
@@ -55,6 +57,11 @@ class SchemaGen(Operator):
     group = OperatorGroup.DATA_ANALYSIS_VALIDATION
     input_types = {"statistics": A.STATISTICS}
     output_types = {"schema": A.SCHEMA}
+    # Schema inference is deterministic in its statistics input. (The
+    # real-execution path also folds cumulative pipeline_state in, but
+    # identical statistics imply an identical fold at the same point in
+    # the pipeline's life — and the cache is scoped per pipeline.)
+    cache_safe = True
 
     def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
         stats_artifact = inputs["statistics"][0]

@@ -59,6 +59,10 @@ class Transform(Operator):
     input_types = {"spans": A.DATA_SPAN, "schema": A.SCHEMA}
     optional_inputs = frozenset({"schema"})
     output_types = {"transform_graph": A.TRANSFORM_GRAPH}
+    # Analysis is a pure function of the input spans and the analyzer
+    # mix: identical windows yield identical transform graphs, so
+    # re-executions (retrains on the same window) are cache-servable.
+    cache_safe = True
 
     def __init__(self, analyzer_counts: dict[AnalyzerKind, int]
                  | None = None, vocab_top_k: int = 1000) -> None:
@@ -68,6 +72,12 @@ class Transform(Operator):
             if count < 0:
                 raise ValueError(f"negative count for analyzer {kind}")
         self.vocab_top_k = vocab_top_k
+
+    def cache_params(self) -> tuple:
+        """The analyzer mix and top-K shape the outputs and the cost."""
+        return (tuple(sorted((kind.value, count) for kind, count
+                             in self.analyzer_counts.items())),
+                self.vocab_top_k)
 
     def run(self, ctx: OperatorContext, inputs) -> OperatorResult:
         span_artifacts = inputs["spans"]

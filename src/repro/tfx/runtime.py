@@ -15,7 +15,7 @@ tests drive them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -36,12 +36,16 @@ from .cost import CostModel
 from .operators.base import OperatorContext, OperatorResult
 from .pipeline import INGEST_STAGE, PipelineDef, PipelineNode
 
+if TYPE_CHECKING:  # imported lazily to avoid a tfx <-> fleet cycle
+    from ..fleet.cache import ExecutionCache
+
 #: Node statuses reported per run.
 RAN = "ran"
 FAILED = "failed"
 BLOCKED = "blocked"
 SKIPPED = "skipped"
 NOT_IN_STAGE = "not_in_stage"
+CACHED = "cached"
 
 
 @dataclass
@@ -71,6 +75,16 @@ class PipelineRunner:
         cost_model: Compute-cost sampler.
         pipeline_cost_scale: Pipeline-level size factor multiplying every
             sampled cost (big-data pipelines cost more across the board).
+        execution_cache: Optional content-addressed cache
+            (:class:`repro.fleet.cache.ExecutionCache`). When set,
+            cache-safe operators whose resolved inputs fingerprint to a
+            previously completed execution are *replayed*: the run
+            records a ``CACHED`` execution with reused output artifacts
+            and zero cpu_hours, and the cost the operator would have
+            incurred is credited to the cache as ``saved_cpu_hours``.
+            The would-be cost is still drawn from ``rng``, so cached and
+            uncached runs of the same seed consume identical random
+            streams (their traces differ only where the cache hit).
     """
 
     def __init__(self, pipeline: PipelineDef, store: MetadataStore,
@@ -78,7 +92,8 @@ class PipelineRunner:
                  simulation: bool = False,
                  cost_model: CostModel | None = None,
                  pipeline_cost_scale: float = 1.0,
-                 parallelism: float = 8.0) -> None:
+                 parallelism: float = 8.0,
+                 execution_cache: "ExecutionCache | None" = None) -> None:
         self.pipeline = pipeline
         self.store = store
         self.rng = rng
@@ -86,6 +101,7 @@ class PipelineRunner:
         self.cost_model = cost_model or CostModel()
         self.pipeline_cost_scale = pipeline_cost_scale
         self.parallelism = parallelism
+        self.execution_cache = execution_cache
         self.payloads: dict[int, Any] = {}
         self.pipeline_state: dict[str, Any] = {}
         self._history: dict[tuple[str, str], list[int]] = {}
@@ -105,7 +121,8 @@ class PipelineRunner:
         self._m_pushes = registry.counter("runtime.pushes")
         self._m_node_status = {
             status: registry.counter("runtime.node_status", status=status)
-            for status in (RAN, FAILED, BLOCKED, SKIPPED, NOT_IN_STAGE)
+            for status in (RAN, FAILED, BLOCKED, SKIPPED, NOT_IN_STAGE,
+                           CACHED)
         }
         self._m_node_cpu_hours = {
             node.node_id: registry.histogram(
@@ -259,6 +276,17 @@ class PipelineRunner:
             pipeline_state=self.pipeline_state)
         injected_failure = (node.node_id in hints.get("fail_nodes", ())
                             or hints.get("fail_node") == node.node_id)
+
+        cache = self.execution_cache
+        cache_key = None
+        if cache is not None and not injected_failure:
+            cache_key = cache.key(node.operator, inputs)
+            if cache_key is not None:
+                entry = cache.lookup(cache_key)
+                if entry is not None:
+                    return self._replay_cached(node, entry, inputs, start,
+                                               now, report, fresh_outputs)
+
         execution = Execution(type_name=node.operator.name,
                               start_time=start,
                               state=ExecutionState.RUNNING)
@@ -306,6 +334,8 @@ class PipelineRunner:
 
         execution.state = ExecutionState.COMPLETE
         self.store.put_execution(execution)
+        if cache_key is not None:
+            cache.store(cache_key, result)
         produced_any = False
         for key, output_list in result.outputs.items():
             ids: list[int] = []
@@ -334,3 +364,62 @@ class PipelineRunner:
             "blocking" if result.blocking else "ok")
         report.total_cpu_hours += cpu_hours
         return RAN, execution.end_time - now
+
+    # ------------------------------------------------------------------
+
+    def _replay_cached(self, node: PipelineNode, entry, inputs: dict,
+                       start: float, now: float, report: RunReport,
+                       fresh_outputs: dict[str, bool]) -> tuple[str, float]:
+        """Serve one node from the execution cache.
+
+        The cost the operator *would* have incurred is still sampled
+        from the run's rng — that keeps the random stream aligned with
+        an uncached run of the same seed, and the drawn value is exactly
+        the compute the cache avoided, so::
+
+            uncached_total == cached_total + saved_cpu_hours
+
+        holds per pipeline. The cached execution records zero cpu_hours
+        (nothing actually ran) and zero duration (a metadata lookup),
+        so downstream consumers start as soon as their inputs exist.
+        """
+        saved = self.cost_model.sample(
+            node.operator.group, self.rng,
+            scale=entry.cost_scale * self.pipeline_cost_scale)
+        self.execution_cache.credit_saved(saved)
+        execution = Execution(type_name=node.operator.name,
+                              start_time=start, end_time=start,
+                              state=ExecutionState.CACHED)
+        execution.properties["cpu_hours"] = 0.0
+        execution.properties["saved_cpu_hours"] = float(saved)
+        execution.properties["group"] = node.operator.group.value
+        execution_id = self.store.put_execution(execution)
+        self.store.put_association(self.context_id, execution_id)
+        for artifacts in inputs.values():
+            for artifact in artifacts:
+                self.store.put_event(Event(artifact.id, execution_id,
+                                           EventType.INPUT, time=start))
+        report.execution_ids[node.node_id] = execution_id
+        self._m_node_cpu_hours[node.node_id].record(0.0)
+
+        produced_any = False
+        for cached_output in entry.outputs:
+            properties = cached_output.materialize()
+            properties["reused"] = True
+            artifact = Artifact(type_name=cached_output.type_name,
+                                create_time=start, properties=properties)
+            artifact_id = self.store.put_artifact(artifact)
+            self.store.put_attribution(self.context_id, artifact_id)
+            self.store.put_event(Event(artifact_id, execution_id,
+                                       EventType.OUTPUT, time=start))
+            self._history.setdefault(
+                (node.node_id, cached_output.key), []).append(artifact_id)
+            report.output_artifact_ids.setdefault(
+                node.node_id, []).append(artifact_id)
+            produced_any = True
+        fresh_outputs[node.node_id] = produced_any
+        self._last_result[node.node_id] = (
+            "blocking" if entry.blocking else "ok")
+        # The replay itself is instantaneous; only the queuing delay
+        # (inputs not ready before `start`) advances the clock.
+        return CACHED, start - now

@@ -108,6 +108,35 @@ class TestPipelineLevel:
         assert failure["total_cpu_hours"] > 0
         assert 0 <= failure["failed_fraction"] < 0.5
 
+    def test_cached_stats_zero_without_cache(self, small_corpus):
+        # The seed corpus is generated without the execution cache, so
+        # the aggregate must report zero cached work over a real total.
+        stats = pipeline_level.cached_execution_stats(
+            small_corpus.store, small_corpus.production_context_ids)
+        assert stats["cached_executions"] == 0
+        assert stats["cached_fraction"] == 0.0
+        assert stats["saved_cpu_hours"] == 0.0
+        assert stats["total_executions"] > 0
+
+    def test_cached_stats_counts_cached_rows(self):
+        from repro.mlmd import (Context, Execution, ExecutionState,
+                                MetadataStore)
+        store = MetadataStore()
+        cid = store.put_context(Context(type_name="Pipeline", name="p"))
+        normal = store.put_execution(Execution(
+            type_name="Trainer", state=ExecutionState.COMPLETE,
+            properties={"cpu_hours": 4.0}))
+        cached = store.put_execution(Execution(
+            type_name="Transform", state=ExecutionState.CACHED,
+            properties={"cpu_hours": 0.0, "saved_cpu_hours": 2.5}))
+        store.put_association(cid, normal)
+        store.put_association(cid, cached)
+        stats = pipeline_level.cached_execution_stats(store, [cid])
+        assert stats["cached_executions"] == 1
+        assert stats["total_executions"] == 2
+        assert stats["cached_fraction"] == pytest.approx(0.5)
+        assert stats["saved_cpu_hours"] == pytest.approx(2.5)
+
 
 class TestGraphletLevel:
     def test_similarity_table_rows(self, small_graphlets):

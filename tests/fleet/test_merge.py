@@ -1,0 +1,110 @@
+"""Shard-store merge tests: id remapping and referential integrity."""
+
+import pytest
+
+from repro.fleet import merge_snapshot, snapshot_store
+from repro.mlmd import (
+    Artifact,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    MetadataStore,
+)
+from repro.mlmd.types import TelemetryRecord
+
+
+def _shard_store(tag):
+    """A minimal but fully-linked store: context, run, telemetry."""
+    store = MetadataStore()
+    context = store.put_context(Context(type_name="Pipeline",
+                                        name=f"pipeline-{tag}"))
+    span = store.put_artifact(Artifact(type_name="DataSpan",
+                                       properties={"span_id": tag}))
+    trainer = store.put_execution(Execution(type_name="Trainer"))
+    store.put_event(Event(span, trainer, EventType.INPUT))
+    model = store.put_artifact(Artifact(type_name="Model"))
+    store.put_event(Event(model, trainer, EventType.OUTPUT))
+    for artifact_id in (span, model):
+        store.put_attribution(context, artifact_id)
+    store.put_association(context, trainer)
+    store.put_telemetry(TelemetryRecord(
+        kind="node", name="Trainer", execution_id=trainer,
+        context_id=context, value=1.0))
+    return store
+
+
+class TestSnapshot:
+    def test_snapshot_is_complete(self):
+        snapshot = snapshot_store(_shard_store(0))
+        assert len(snapshot.artifacts) == 2
+        assert len(snapshot.executions) == 1
+        assert len(snapshot.contexts) == 1
+        assert len(snapshot.events) == 2
+        assert snapshot.attributions and snapshot.associations
+        assert len(snapshot.telemetry) == 1
+
+    def test_snapshot_survives_pickling(self):
+        import pickle
+        snapshot = snapshot_store(_shard_store(0))
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert len(clone.artifacts) == len(snapshot.artifacts)
+        assert clone.events[0].type is EventType.INPUT
+
+
+class TestMerge:
+    def test_ids_remapped_into_occupied_store(self):
+        # The destination already holds rows, so every shard-local id
+        # collides and must be remapped.
+        dest = _shard_store(0)
+        maps = merge_snapshot(dest, snapshot_store(_shard_store(1)))
+        assert dest.num_artifacts == 4
+        assert dest.num_executions == 2
+        assert len(dest.get_contexts()) == 2
+        assert all(old != new for old, new in maps.artifact_ids.items())
+
+    def test_lineage_survives_merge(self):
+        dest = MetadataStore()
+        maps = merge_snapshot(dest, snapshot_store(_shard_store(7)))
+        (trainer_id,) = maps.execution_ids.values()
+        inputs = dest.get_input_artifacts(trainer_id)
+        assert [a.get("span_id") for a in inputs] == [7]
+        assert [a.type_name
+                for a in dest.get_output_artifacts(trainer_id)] == \
+            ["Model"]
+
+    def test_context_membership_survives_merge(self):
+        dest = _shard_store(0)
+        maps = merge_snapshot(dest, snapshot_store(_shard_store(1)))
+        (context_id,) = maps.context_ids.values()
+        members = dest.get_artifacts_by_context(context_id)
+        assert {a.get("span_id") for a in members
+                if a.type_name == "DataSpan"} == {1}
+        assert len(dest.get_executions_by_context(context_id)) == 1
+
+    def test_telemetry_join_keys_remapped(self):
+        dest = _shard_store(0)
+        maps = merge_snapshot(dest, snapshot_store(_shard_store(1)))
+        merged = dest.get_telemetry()
+        assert len(merged) == 2
+        latest = merged[-1]
+        assert latest.execution_id in maps.execution_ids.values()
+        assert latest.context_id in maps.context_ids.values()
+
+    def test_merged_contexts_stay_disjoint(self):
+        dest = MetadataStore()
+        first = merge_snapshot(dest, snapshot_store(_shard_store(0)))
+        second = merge_snapshot(dest, snapshot_store(_shard_store(1)))
+        a = set(first.artifact_ids.values())
+        b = set(second.artifact_ids.values())
+        assert not a & b
+
+    def test_dangling_reference_raises(self):
+        # Integrity is enforced by the store during re-insertion: an
+        # event naming an artifact the snapshot never carried must fail
+        # loudly, not produce a silently corrupt trace.
+        snapshot = snapshot_store(_shard_store(0))
+        snapshot.events.append(Event(artifact_id=999, execution_id=1,
+                                     type=EventType.INPUT))
+        with pytest.raises(KeyError):
+            merge_snapshot(MetadataStore(), snapshot)

@@ -207,3 +207,77 @@ class TestDiagnoseDashboard:
         assert main(["dashboard", str(cli_corpus),
                      "--baseline", str(cli_corpus)]) == 0
         assert "no operator p95 regressions" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def fleet_corpus(tmp_path_factory):
+    """Parallel + cached generation saved to sqlite (satellite d)."""
+    path = tmp_path_factory.mktemp("cli-fleet") / "fleet.db"
+    code = main(["generate", "--pipelines", "8", "--seed", "9",
+                 "--max-graphlets", "8", "--workers", "2",
+                 "--exec-cache", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestFleetCLI:
+    def test_parser_accepts_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["generate", "--workers", "4", "--exec-cache"])
+        assert args.workers == 4
+        assert args.exec_cache
+
+    def test_fleet_flags_off_by_default(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.workers is None
+        assert not args.exec_cache
+
+    def test_generate_reports_fleet_and_cache(self, tmp_path, capsys):
+        path = tmp_path / "fleet.db"
+        assert main(["generate", "--pipelines", "8", "--seed", "9",
+                     "--max-graphlets", "8", "--workers", "2",
+                     "--exec-cache", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 workers, exec cache" in out
+        assert "fleet: 2 shards" in out
+        assert "hit rate" in out
+        assert path.exists()
+
+    def test_roundtrip_diagnose(self, fleet_corpus, capsys):
+        # generate --workers N --out → load → diagnose: the merged
+        # store must satisfy every invariant diagnose checks.
+        assert main(["diagnose", str(fleet_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "Graphlets" in out
+        assert "Compute attribution" in out
+        (line,) = [x for x in out.splitlines()
+                   if x.startswith("attributed ")]
+        attributed = float(line.split()[1])
+        recorded = float(line.split()[4])
+        assert attributed == pytest.approx(recorded, rel=0.01)
+
+    def test_roundtrip_report_shows_cached_work(self, fleet_corpus,
+                                                capsys):
+        assert main(["report", str(fleet_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "model mix" in out
+        assert "cached executions:" in out
+        assert "saved" in out
+
+    def test_roundtrip_summarize(self, fleet_corpus, capsys):
+        assert main(["summarize", str(fleet_corpus)]) == 0
+        assert "Trainer" in capsys.readouterr().out
+
+    def test_workers_match_sequential_counts(self, tmp_path, capsys):
+        # Same seed, 1 vs 3 workers: identical saved stores.
+        single = tmp_path / "w1.db"
+        triple = tmp_path / "w3.db"
+        for path, workers in ((single, "1"), (triple, "3")):
+            assert main(["generate", "--pipelines", "6", "--seed", "11",
+                         "--max-graphlets", "8", "--workers", workers,
+                         "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        saved = [line for line in out.splitlines()
+                 if line.startswith("saved ")]
+        assert len(saved) == 2
+        assert saved[0] == saved[1].replace(str(triple), str(single))

@@ -7,6 +7,7 @@ from repro.mlmd import (
     Event,
     EventType,
     Execution,
+    ExecutionState,
     MetadataStore,
     artifact_node,
     execution_node,
@@ -64,6 +65,31 @@ class TestTypeSummary:
     def test_render(self, chain_store):
         out = summarize_by_type(chain_store[0]).render()
         assert "Trainer" in out and "->" in out
+
+
+class TestCachedExecutions:
+    @pytest.fixture()
+    def store_with_cached(self, chain_store):
+        store = chain_store[0]
+        store.put_execution(Execution(
+            type_name="Transform", state=ExecutionState.CACHED,
+            properties={"cpu_hours": 0.0, "saved_cpu_hours": 3.5}))
+        return store
+
+    def test_cached_count_and_fraction(self, store_with_cached):
+        summary = summarize_by_type(store_with_cached)
+        assert summary.cached_executions == 1
+        assert summary.cached_fraction == pytest.approx(1 / 3)
+
+    def test_render_mentions_cache(self, store_with_cached):
+        out = summarize_by_type(store_with_cached).render()
+        assert "cached executions: 1" in out
+
+    def test_render_silent_without_cache(self, chain_store):
+        # Corpora generated without --exec-cache keep the old output.
+        summary = summarize_by_type(chain_store[0])
+        assert summary.cached_executions == 0
+        assert "cached" not in summary.render()
 
 
 class TestReachability:
