@@ -331,3 +331,59 @@ def failure_cost(store: MetadataStore,
         "total_cpu_hours": total_cost,
         "failed_fraction": failed_cost / total_cost if total_cost else 0.0,
     }
+
+
+def retry_stats(store: MetadataStore,
+                context_ids: Iterable[int]) -> dict[str, float]:
+    """Retry-waste accounting from retry provenance (repro.faults).
+
+    Every attempt is its own execution; an execution referenced by a
+    later attempt's ``retry_of`` property is *superseded*. Compute then
+    partitions exactly into three buckets:
+
+    * ``useful`` — final non-FAILED attempts (the work that stuck),
+    * ``wasted`` — final FAILED attempts (the retry budget ran out, or
+      no policy was in force),
+    * ``retried`` — superseded attempts (paid again by a retry).
+
+    ``total_cpu_hours == useful + wasted + retried`` holds to the float
+    digit, so ``repro report`` can print a reconciling waste line. On a
+    corpus with no retries, ``retried`` buckets are zero and ``wasted``
+    equals :func:`failure_cost`'s failed compute.
+    """
+    superseded: set[int] = set()
+    executions = []
+    for cid in context_ids:
+        for execution in store.get_executions_by_context(cid):
+            executions.append(execution)
+            prior = execution.get("retry_of")
+            if prior is not None:
+                superseded.add(int(prior))
+    useful = wasted = retried = 0.0
+    n_useful = n_wasted = n_retried = 0
+    max_attempt = 1
+    for execution in executions:
+        cost = float(execution.get("cpu_hours", 0.0))
+        max_attempt = max(max_attempt, int(execution.get("attempt", 1)))
+        if execution.id in superseded:
+            retried += cost
+            n_retried += 1
+        elif execution.state.value == "failed":
+            wasted += cost
+            n_wasted += 1
+        else:
+            useful += cost
+            n_useful += 1
+    total = useful + wasted + retried
+    return {
+        "total_cpu_hours": total,
+        "useful_cpu_hours": useful,
+        "wasted_cpu_hours": wasted,
+        "retried_cpu_hours": retried,
+        "retried_executions": n_retried,
+        "failed_executions": n_wasted,
+        "useful_executions": n_useful,
+        "max_attempt": max_attempt,
+        "retry_amplification": (retried + useful) / useful
+        if useful else 0.0,
+    }

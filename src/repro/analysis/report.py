@@ -82,6 +82,7 @@ def _full_report(store, context_ids, graphlets_by_pipeline) -> dict:
         "trace_sizes": DistributionSummary.from_values(
             pipeline_level.trace_sizes(store, context_ids), log_bins=True),
         "failure_cost": pipeline_level.failure_cost(store, context_ids),
+        "retry_stats": pipeline_level.retry_stats(store, context_ids),
         "cached_stats": pipeline_level.cached_execution_stats(
             store, context_ids),
         "tab1_similarity": graphlet_level.similarity_table(

@@ -8,7 +8,10 @@ Commands:
   Figure 10 summaries.
 * ``summarize`` — type-level summary of a pipeline's trace.
 * ``diagnose`` — explain one pipeline from telemetry persisted in the
-  store: critical path, top cost sinks, waste attribution, push outcome.
+  store: critical path, top cost sinks, waste attribution, failures,
+  push outcome.
+* ``faults`` — corpus-wide failure/retry summary: failure kinds,
+  failing operators, retry histogram, retry-waste reconciliation.
 * ``dashboard`` — fleet-level report from persisted telemetry: operator
   duration distributions, graphlet cost CDF, waste share, regressions.
 * ``telemetry`` — render a telemetry JSONL file produced by
@@ -42,45 +45,103 @@ from .obs import configure_logging, get_logger, get_registry
 _log = get_logger("cli")
 
 
+def _parse_fault_options(args: argparse.Namespace):
+    """Resolve --fault-plan / --retries into plan and policy objects."""
+    from .faults import FaultPlan, RetryPolicy
+
+    plan = None
+    if args.fault_plan:
+        plan = FaultPlan.parse(args.fault_plan, seed=args.fault_seed)
+    policy = None
+    if args.retries:
+        # --retries N means N *extra* attempts on top of the first.
+        policy = RetryPolicy(max_attempts=args.retries + 1)
+    return plan, policy
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .corpus import CorpusConfig, generate_corpus
     from .mlmd import save_store
 
     config = CorpusConfig(n_pipelines=args.pipelines, seed=args.seed,
                           max_graphlets_per_pipeline=args.max_graphlets)
-    # --workers (any value, including 1) or --exec-cache selects the
-    # fleet path: sharded generation with per-pipeline derived seeds.
-    # Without either flag the legacy sequential generator runs, keeping
+    try:
+        fault_plan, retry_policy = _parse_fault_options(args)
+    except (ValueError, OSError) as exc:
+        _log.error("bad_fault_plan", reason=str(exc))
+        return 2
+    # --workers (any value, including 1), --exec-cache, or any fault /
+    # resume flag selects the fleet path: sharded generation with
+    # per-pipeline derived seeds and a crash-safe shard journal.
+    # Without these flags the legacy sequential generator runs, keeping
     # existing seeds' corpora byte-identical.
-    use_fleet = args.workers is not None or args.exec_cache
+    use_fleet = (args.workers is not None or args.exec_cache
+                 or args.resume or fault_plan is not None
+                 or retry_policy is not None)
     if use_fleet:
+        from .faults.journal import journal_dir_for
         from .fleet import generate_corpus_fleet
 
         workers = args.workers or 1
         print(f"generating {args.pipelines} pipelines "
               f"(seed {args.seed}, {workers} workers"
-              f"{', exec cache' if args.exec_cache else ''}) ...")
-        corpus, fleet = generate_corpus_fleet(
-            config, workers=workers, exec_cache=args.exec_cache,
-            telemetry=args.telemetry, progress=True)
+              f"{', exec cache' if args.exec_cache else ''}"
+              f"{', faults: ' + fault_plan.describe() if fault_plan else ''}"
+              f"{', resume' if args.resume else ''}) ...")
+        from .faults.journal import JournalError
+
+        journal_dir = journal_dir_for(args.out)
+        try:
+            corpus, fleet = generate_corpus_fleet(
+                config, workers=workers, exec_cache=args.exec_cache,
+                telemetry=args.telemetry, progress=True,
+                fault_plan=fault_plan, retry_policy=retry_policy,
+                journal_dir=journal_dir, resume=args.resume)
+        except JournalError as exc:
+            _log.error("journal_error", reason=str(exc))
+            return 2
         print(f"fleet: {fleet.workers} shards in "
               f"{fleet.wall_seconds:.1f}s"
-              + ("" if fleet.used_processes or fleet.workers == 1
+              + (f" ({fleet.resumed_shards} resumed from journal)"
+                 if fleet.resumed_shards else "")
+              + ("" if fleet.used_processes
+                 or fleet.workers - fleet.resumed_shards <= 1
                  else " (process pool unavailable; ran in-process)"))
         if fleet.exec_cache:
             print(f"exec cache: {fleet.cache_hits:,} hits / "
                   f"{fleet.cache_hits + fleet.cache_misses:,} cacheable "
                   f"({fleet.cache_hit_rate:.1%} hit rate), "
                   f"saved {fleet.saved_cpu_hours:.1f} cpu-hours")
+        save_store(corpus.store, args.out)
+        print(f"saved {corpus.store.num_executions:,} executions / "
+              f"{corpus.store.num_artifacts:,} artifacts / "
+              f"{corpus.store.num_telemetry:,} telemetry rows "
+              f"to {args.out}")
+        if not fleet.complete:
+            print(f"\nPARTIAL RUN: {len(fleet.failed_shards)} shard(s) "
+                  f"failed ({fleet.missing_pipelines} of "
+                  f"{fleet.pipelines} pipelines missing):")
+            for failure in fleet.failed_shards:
+                print(f"  shard {failure.shard_index} "
+                      f"[pipelines {failure.start}..{failure.stop - 1}] "
+                      f"{failure.kind}: {failure.message}")
+            print(f"the saved store is valid but partial; re-run with "
+                  f"--resume to complete it (journal: "
+                  f"{fleet.journal_dir})")
+            return 3
+        # Full run: the journal has served its purpose.
+        from .faults.journal import ShardJournal
+        ShardJournal(journal_dir, fingerprint="").cleanup()
     else:
         print(f"generating {args.pipelines} pipelines "
               f"(seed {args.seed}) ...")
         corpus = generate_corpus(config, progress=True,
                                  telemetry=args.telemetry)
-    save_store(corpus.store, args.out)
-    print(f"saved {corpus.store.num_executions:,} executions / "
-          f"{corpus.store.num_artifacts:,} artifacts / "
-          f"{corpus.store.num_telemetry:,} telemetry rows to {args.out}")
+        save_store(corpus.store, args.out)
+        print(f"saved {corpus.store.num_executions:,} executions / "
+              f"{corpus.store.num_artifacts:,} artifacts / "
+              f"{corpus.store.num_telemetry:,} telemetry rows "
+              f"to {args.out}")
     return 0
 
 
@@ -124,6 +185,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
               f"{cached['total_executions']:,} "
               f"({cached['cached_fraction']:.1%}), saved "
               f"{cached['saved_cpu_hours']:.1f} cpu-hours")
+    retry = report["retry_stats"]
+    print(f"retry waste: {retry['total_cpu_hours']:.1f} cpu-hours total "
+          f"= {retry['useful_cpu_hours']:.1f} useful "
+          f"+ {retry['wasted_cpu_hours']:.1f} wasted "
+          f"+ {retry['retried_cpu_hours']:.1f} retried "
+          f"({retry['retried_executions']:,} superseded attempts, "
+          f"max attempt {retry['max_attempt']})")
     return 0
 
 
@@ -264,6 +332,20 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         print(format_table(("operator", "exec", "cpu h", "share"), rows,
                            title=f"Top {len(rows)} cost sinks"))
 
+    if diagnosis.failures:
+        rows = [(f.execution_id, f.node or "-", f.operator, f.kind,
+                 f.attempt,
+                 "-" if f.retry_of is None else f.retry_of,
+                 (f"{f.error}: {f.message}" if f.error else f.message)
+                 [:60] or "-")
+                for f in diagnosis.failures[:args.top * 2]]
+        print()
+        print(format_table(
+            ("exec", "node", "operator", "kind", "att", "retry of",
+             "error"), rows,
+            title=f"Failures ({len(diagnosis.failures)} failed "
+                  f"executions)"))
+
     split = diagnosis.split
     print()
     print(bar_chart(
@@ -281,6 +363,60 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     print(f"telemetry coverage: {diagnosis.telemetry_rows}/"
           f"{diagnosis.n_executions} executions with persisted rows "
           f"({diagnosis.telemetry_coverage:.0%})")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Summarize failure provenance and retry waste across a corpus."""
+    from collections import Counter
+
+    from .analysis.pipeline_level import retry_stats
+    from .mlmd import load_store
+    from .obs.diagnosis import collect_failures
+    from .reporting import bar_chart, format_table
+
+    store = load_store(args.corpus)
+    context_ids = [c.id for c in store.get_contexts("Pipeline")]
+    kinds: Counter = Counter()
+    operators: Counter = Counter()
+    attempts: Counter = Counter()
+    failures = []
+    for context_id in context_ids:
+        for record in collect_failures(store, context_id):
+            failures.append(record)
+            kinds[record.kind] += 1
+            operators[record.operator] += 1
+    for execution in store.get_executions():
+        attempts[int(execution.get("attempt", 1))] += 1
+    retry = retry_stats(store, context_ids)
+
+    print(f"{len(context_ids)} pipelines, "
+          f"{store.num_executions:,} executions, "
+          f"{len(failures):,} failed")
+    if kinds:
+        print()
+        print(bar_chart(dict(kinds.most_common()),
+                        value_format="{:,.0f}",
+                        title="Failure kinds"))
+        print()
+        print(bar_chart(dict(operators.most_common()),
+                        value_format="{:,.0f}",
+                        title="Failing operators"))
+    if len(attempts) > 1:
+        rows = [(attempt, f"{count:,}")
+                for attempt, count in sorted(attempts.items())]
+        print()
+        print(format_table(("attempt", "executions"), rows,
+                           title="Retry attempt histogram"))
+    print()
+    print(f"retry waste: {retry['total_cpu_hours']:.1f} cpu-hours total "
+          f"= {retry['useful_cpu_hours']:.1f} useful "
+          f"+ {retry['wasted_cpu_hours']:.1f} wasted "
+          f"+ {retry['retried_cpu_hours']:.1f} retried")
+    print(f"superseded attempts: {retry['retried_executions']:,}; "
+          f"final failures: {retry['failed_executions']:,}; "
+          f"retry amplification of useful work: "
+          f"{retry['retry_amplification']:.3f}x")
     return 0
 
 
@@ -556,6 +692,26 @@ def build_parser() -> argparse.ArgumentParser:
                                "replayed as CACHED executions with "
                                "saved cpu-hours recorded (implies the "
                                "fleet path)")
+    generate.add_argument("--fault-plan", default=None, metavar="PLAN",
+                          help="inject seeded faults: a spec like "
+                               "'transient:Trainer:0.05;worker_crash:1' "
+                               "(kind:operator:probability), inline "
+                               "JSON, or a .json file (implies the "
+                               "fleet path)")
+    generate.add_argument("--fault-seed", type=int, default=0,
+                          help="seed for the fault plan's injection "
+                               "streams (default 0; independent of "
+                               "--seed so the simulated trace is "
+                               "unchanged by fault sampling)")
+    generate.add_argument("--retries", type=int, default=0, metavar="N",
+                          help="allow N retry attempts after a failed "
+                               "execution, with exponential backoff; "
+                               "every attempt is persisted as its own "
+                               "execution (implies the fleet path)")
+    generate.add_argument("--resume", action="store_true",
+                          help="resume a partial fleet run from its "
+                               "shard journal (<out>.shards/): only "
+                               "failed or missing shards are re-run")
     generate.set_defaults(fn=_cmd_generate)
 
     report = sub.add_parser("report", parents=[obs_flags],
@@ -589,6 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--top", type=int, default=5,
                           help="cost sinks to show (default 5)")
     diagnose.set_defaults(fn=_cmd_diagnose)
+
+    faults = sub.add_parser("faults", parents=[obs_flags],
+                            help="summarize failure kinds, retry "
+                                 "attempts, and retry waste")
+    faults.add_argument("corpus")
+    faults.set_defaults(fn=_cmd_faults)
 
     dashboard = sub.add_parser("dashboard", parents=[obs_flags],
                                help="fleet report from telemetry "

@@ -143,13 +143,17 @@ def _simulate_pipeline(store: MetadataStore, config: CorpusConfig,
                        archetype: PipelineArchetype,
                        rng: np.random.Generator,
                        start_time: float,
-                       execution_cache=None) -> PipelineRecord:
+                       execution_cache=None,
+                       fault_injector=None,
+                       retry_policy=None) -> PipelineRecord:
     pipeline = build_pipeline(archetype)
     runner = PipelineRunner(
         pipeline, store, rng, simulation=True,
         cost_model=config.cost_model,
         pipeline_cost_scale=archetype.pipeline_cost_scale,
-        execution_cache=execution_cache)
+        execution_cache=execution_cache,
+        fault_injector=fault_injector,
+        retry_policy=retry_policy)
     schema = random_schema(
         rng, n_features=archetype.n_features,
         categorical_fraction=archetype.categorical_fraction,
@@ -244,7 +248,9 @@ def _truncate(schema, n: int):
 def generate_corpus(config: CorpusConfig | None = None,
                     progress: bool = False,
                     progress_callback: ProgressCallback | None = None,
-                    telemetry: bool = False) -> Corpus:
+                    telemetry: bool = False,
+                    fault_plan=None,
+                    retry_policy=None) -> Corpus:
     """Generate a full corpus per the configuration.
 
     Deterministic given ``config.seed``. With ``progress=True`` (and no
@@ -257,6 +263,11 @@ def generate_corpus(config: CorpusConfig | None = None,
     store before simulation, so every execution gains a joinable
     telemetry row and a final metrics snapshot is persisted — the
     input ``repro diagnose`` / ``repro dashboard`` query.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+    seeded operator faults per pipeline; ``retry_policy`` (a
+    :class:`repro.faults.RetryPolicy`) lets the runner re-attempt
+    failures, persisting every attempt as provenance.
     """
     config = config or CorpusConfig()
     rng = np.random.default_rng(config.seed)
@@ -278,11 +289,15 @@ def generate_corpus(config: CorpusConfig | None = None,
         for index in range(config.n_pipelines):
             archetype, start_time = sample_pipeline_plan(rng, config,
                                                          index)
+            injector = (fault_plan.injector(index)
+                        if fault_plan is not None else None)
             with span("corpus.pipeline", index=index,
                       archetype=archetype.name), \
                     registry.timer("corpus.pipeline_seconds") as timer:
                 record = _simulate_pipeline(store, config, archetype, rng,
-                                            start_time)
+                                            start_time,
+                                            fault_injector=injector,
+                                            retry_policy=retry_policy)
             pipelines_done.value += 1
             corpus.records.append(record)
             _log.debug("pipeline_generated", index=index,

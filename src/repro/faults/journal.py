@@ -1,0 +1,230 @@
+"""Per-shard journal: crash-safe, resumable fleet generation.
+
+A fleet run with an output path ``corpus.db`` journals under
+``corpus.db.shards/``::
+
+    manifest.json     run fingerprint + shard layout (written first)
+    shard-0002.db     the shard's trace store (sqlite, worker-written)
+    shard-0002.pkl    pipeline records + tallies (worker-written)
+    shard-0002.json   outcome entry (driver-written after the fact)
+
+Workers persist their payload (``.db`` + ``.pkl``) the moment a shard
+finishes; the driver records the outcome entry as each result (or
+failure) lands. A later ``--resume`` run therefore re-simulates only
+shards without a ``done`` entry, loads the rest from disk, and merges
+everything in shard order — reproducing the exact store a fault-free
+run would have produced. The manifest fingerprint covers the corpus
+config, shard layout, cache/telemetry switches, fault plan, and retry
+policy; resuming with any of those changed is refused rather than
+silently mixing incompatible shards.
+
+All writes go through a temp-file + ``os.replace`` so a killed driver
+or worker never leaves a half-written journal file behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..mlmd.sqlite_store import load_store, save_store
+from ..mlmd.store import MetadataStore
+from ..obs.metrics import MetricsRegistry, set_registry
+
+__all__ = ["JournalError", "ShardEntry", "ShardJournal",
+           "config_fingerprint", "journal_dir_for",
+           "write_shard_payload"]
+
+MANIFEST = "manifest.json"
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """A journal cannot be (re)used: missing, stale, or mismatched."""
+
+
+def journal_dir_for(out_path: str | Path) -> Path:
+    """Where a run writing ``out_path`` keeps its shard journal."""
+    return Path(str(out_path) + ".shards")
+
+
+def config_fingerprint(config, shards, *, exec_cache: bool = False,
+                       telemetry: bool = False, fault_plan=None,
+                       retry_policy=None) -> str:
+    """Digest of everything that must match for shards to be reusable."""
+    doc = {
+        "version": JOURNAL_VERSION,
+        "config": repr(config),
+        "shards": [(s.shard_index, s.start, s.stop) for s in shards],
+        "exec_cache": bool(exec_cache),
+        "telemetry": bool(telemetry),
+        "fault_plan": fault_plan.to_json() if fault_plan is not None
+        else "",
+        "retry_policy": repr(retry_policy) if retry_policy is not None
+        else "",
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def _stem(shard_index: int) -> str:
+    return f"shard-{shard_index:04d}"
+
+
+def write_shard_payload(directory: str | Path, shard_index: int,
+                        store: MetadataStore, extras: dict) -> None:
+    """Persist a finished shard's store + tallies (worker side).
+
+    The sqlite file is written to a temp name and renamed into place,
+    so a crash mid-write leaves no plausible-but-truncated payload.
+    """
+    directory = Path(directory)
+    db_tmp = directory / (_stem(shard_index) + ".db.tmp")
+    save_store(store, db_tmp)
+    os.replace(db_tmp, directory / (_stem(shard_index) + ".db"))
+    _atomic_write(directory / (_stem(shard_index) + ".pkl"),
+                  pickle.dumps(extras))
+
+
+@dataclass
+class ShardEntry:
+    """One shard's journaled outcome."""
+
+    shard_index: int
+    start: int
+    stop: int
+    status: str = "pending"  # pending | done | failed
+    crashes: int = 0
+    error_kind: str = ""
+    error_message: str = ""
+
+
+class ShardJournal:
+    """Driver-side view of one run's journal directory."""
+
+    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.entries: dict[int, ShardEntry] = {}
+
+    # -------------------------------------------------------- lifecycle
+
+    def open(self, shards, resume: bool = False) -> None:
+        """Create a fresh journal, or re-open one for ``--resume``.
+
+        A fresh open wipes any stale journal at the same path; a resume
+        requires the manifest fingerprint to match this run exactly.
+        """
+        manifest_path = self.directory / MANIFEST
+        if resume:
+            if not manifest_path.exists():
+                raise JournalError(
+                    f"nothing to resume: no journal at {self.directory}")
+            manifest = json.loads(manifest_path.read_text())
+            if manifest.get("fingerprint") != self.fingerprint:
+                raise JournalError(
+                    "journal fingerprint mismatch: the journal at "
+                    f"{self.directory} was written by a run with a "
+                    "different config/plan; re-run without --resume")
+            for spec in shards:
+                entry = self._read_entry(spec.shard_index)
+                if entry is None:
+                    entry = ShardEntry(spec.shard_index, spec.start,
+                                       spec.stop)
+                self.entries[spec.shard_index] = entry
+            return
+        if self.directory.exists():
+            shutil.rmtree(self.directory)
+        self.directory.mkdir(parents=True)
+        _atomic_write(manifest_path, json.dumps(
+            {"version": JOURNAL_VERSION, "fingerprint": self.fingerprint,
+             "shards": [(s.shard_index, s.start, s.stop)
+                        for s in shards]},
+            indent=2).encode())
+        for spec in shards:
+            self.entries[spec.shard_index] = ShardEntry(
+                spec.shard_index, spec.start, spec.stop)
+
+    def cleanup(self) -> None:
+        """Remove the journal directory (after a fully merged save)."""
+        if self.directory.exists():
+            shutil.rmtree(self.directory)
+
+    # ---------------------------------------------------------- entries
+
+    def _entry_path(self, shard_index: int) -> Path:
+        return self.directory / (_stem(shard_index) + ".json")
+
+    def _read_entry(self, shard_index: int) -> ShardEntry | None:
+        path = self._entry_path(shard_index)
+        if not path.exists():
+            return None
+        try:
+            return ShardEntry(**json.loads(path.read_text()))
+        except (json.JSONDecodeError, TypeError):
+            return None
+
+    def _write_entry(self, entry: ShardEntry) -> None:
+        self.entries[entry.shard_index] = entry
+        _atomic_write(self._entry_path(entry.shard_index),
+                      json.dumps(asdict(entry), indent=2).encode())
+
+    def entry(self, shard_index: int) -> ShardEntry:
+        """This shard's current entry (pending if never recorded)."""
+        return self.entries[shard_index]
+
+    def is_done(self, shard_index: int) -> bool:
+        """Whether the shard completed *and* its payload files exist."""
+        entry = self.entries.get(shard_index)
+        return (entry is not None and entry.status == "done"
+                and (self.directory / (_stem(shard_index) + ".db")).exists()
+                and (self.directory / (_stem(shard_index) + ".pkl")).exists())
+
+    def record_done(self, shard_index: int) -> None:
+        """Mark a shard complete (its payload was already written)."""
+        entry = self.entries[shard_index]
+        entry.status = "done"
+        entry.error_kind = entry.error_message = ""
+        self._write_entry(entry)
+
+    def record_failure(self, shard_index: int, kind: str, message: str,
+                       crashed: bool = False) -> None:
+        """Mark a shard failed; crashes are counted so an injected
+        worker crash fires once per journal, not once per resume."""
+        entry = self.entries[shard_index]
+        entry.status = "failed"
+        entry.error_kind = kind
+        entry.error_message = message
+        if crashed:
+            entry.crashes += 1
+        self._write_entry(entry)
+
+    # ---------------------------------------------------------- payload
+
+    def load_payload(self, shard_index: int) -> tuple[MetadataStore, dict]:
+        """Reload a completed shard's store and tallies.
+
+        The sqlite load runs under a throwaway metrics registry: replayed
+        store ops must not inflate the live run's counters (which are
+        persisted into the merged store when telemetry is on — resumed
+        and fault-free runs must record identical snapshots).
+        """
+        previous = set_registry(MetricsRegistry())
+        try:
+            store = load_store(self.directory / (_stem(shard_index) + ".db"))
+        finally:
+            set_registry(previous)
+        extras = pickle.loads(
+            (self.directory / (_stem(shard_index) + ".pkl")).read_bytes())
+        return store, extras

@@ -1,0 +1,82 @@
+"""Retry semantics for failed operator attempts.
+
+A :class:`RetryPolicy` bounds how the runner re-attempts a failed node:
+a per-node attempt budget, exponential backoff with *deterministic*
+jitter (drawn from the fault stream, not the simulation stream), and
+optional per-operator wall-clock deadlines. Every attempt is persisted
+as its own MLMD execution — the policy only decides whether a next
+attempt is allowed and when it starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how patiently, a failed node is re-attempted.
+
+    Attributes:
+        max_attempts: Total attempts per node per run (1 = no retries).
+        backoff_base_hours: Sleep before the first retry.
+        backoff_factor: Multiplier per further retry.
+        jitter_fraction: Uniform jitter added on top of the backoff,
+            as a fraction of it (deterministic given the fault rng).
+        deadline_hours: Cumulative per-node budget (first attempt start
+            to last attempt end); None = unbounded.
+        operator_deadlines: Per-operator overrides of ``deadline_hours``
+            keyed by operator type name.
+    """
+
+    max_attempts: int = 3
+    backoff_base_hours: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.25
+    deadline_hours: float | None = None
+    operator_deadlines: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_hours < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be non-negative and "
+                             "non-shrinking")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+
+    def deadline_for(self, operator_name: str) -> float | None:
+        """The cumulative deadline applying to ``operator_name``."""
+        return self.operator_deadlines.get(operator_name,
+                                           self.deadline_hours)
+
+    def allows(self, next_attempt: int, elapsed_hours: float,
+               operator_name: str) -> bool:
+        """Whether attempt number ``next_attempt`` may start.
+
+        ``elapsed_hours`` is the node's cumulative wall time so far
+        (attempts plus backoffs).
+        """
+        if next_attempt > self.max_attempts:
+            return False
+        deadline = self.deadline_for(operator_name)
+        return deadline is None or elapsed_hours < deadline
+
+    def backoff_hours(self, failed_attempt: int,
+                      rng: np.random.Generator) -> float:
+        """Backoff after ``failed_attempt`` (1-based) failed.
+
+        Jitter comes from the caller's fault rng, so the schedule is
+        reproducible for a given plan seed.
+        """
+        base = self.backoff_base_hours \
+            * self.backoff_factor ** (failed_attempt - 1)
+        if base <= 0.0:
+            return 0.0
+        jitter = self.jitter_fraction * float(rng.random()) \
+            if self.jitter_fraction else 0.0
+        return base * (1.0 + jitter)

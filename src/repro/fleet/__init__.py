@@ -13,12 +13,19 @@ The subsystem has three parts, surfaced via
   turns the paper's graphlet-similarity observation (Table 1 /
   Section 5) into replayed ``CACHED`` executions with measured saved
   cpu-hours.
+
+Fleet runs are crash-safe: with a shard journal
+(:mod:`repro.faults.journal`) a killed or crashing worker degrades the
+run to a partial-but-valid merged store plus structured
+:class:`ShardFailure` records, and ``resume=True`` re-simulates only
+the failed shards.
 """
 
 from .cache import CacheEntry, CachedOutput, ExecutionCache
 from .merge import MergeMaps, StoreSnapshot, merge_snapshot, snapshot_store
 from .workers import (
     FleetReport,
+    ShardFailure,
     ShardResult,
     ShardSpec,
     generate_corpus_fleet,
@@ -33,6 +40,7 @@ __all__ = [
     "ExecutionCache",
     "FleetReport",
     "MergeMaps",
+    "ShardFailure",
     "ShardResult",
     "ShardSpec",
     "StoreSnapshot",

@@ -29,6 +29,11 @@ from ..mlmd.types import Artifact, Context, Event, Execution, TelemetryRecord
 
 __all__ = ["MergeMaps", "StoreSnapshot", "merge_snapshot", "snapshot_store"]
 
+#: Artifact properties whose value is an artifact id (set by operators:
+#: SchemaGen's source_statistics, Pusher's model_artifact). Any merge
+#: or lenient reload must remap these alongside the structural edges.
+ID_VALUED_ARTIFACT_PROPERTIES = ("source_statistics", "model_artifact")
+
 
 @dataclass
 class StoreSnapshot:
@@ -97,11 +102,29 @@ def merge_snapshot(dest: MetadataStore,
         maps.context_ids[context.id] = dest.put_context(
             dataclasses.replace(context, id=-1))
     for artifact in snapshot.artifacts:
+        properties = artifact.properties
+        if any(key in properties for key in ID_VALUED_ARTIFACT_PROPERTIES):
+            # The referenced artifact (an operator input) always has a
+            # smaller id than its consumer's output, so it is mapped by
+            # the time this row is reached.
+            properties = dict(properties)
+            for key in ID_VALUED_ARTIFACT_PROPERTIES:
+                if key in properties:
+                    properties[key] = maps.artifact_ids[
+                        int(properties[key])]
         maps.artifact_ids[artifact.id] = dest.put_artifact(
-            dataclasses.replace(artifact, id=-1))
+            dataclasses.replace(artifact, id=-1, properties=properties))
     for execution in snapshot.executions:
+        properties = execution.properties
+        if "retry_of" in properties:
+            # retry_of is an id-valued *property* (retry provenance,
+            # repro.faults): the prior attempt always precedes this row
+            # in snapshot order, so its merged id is already mapped.
+            properties = dict(properties)
+            properties["retry_of"] = maps.execution_ids[
+                int(properties["retry_of"])]
         maps.execution_ids[execution.id] = dest.put_execution(
-            dataclasses.replace(execution, id=-1))
+            dataclasses.replace(execution, id=-1, properties=properties))
     for event in snapshot.events:
         dest.put_event(Event(
             artifact_id=maps.artifact_ids[event.artifact_id],

@@ -30,13 +30,24 @@ Worker discipline:
 * Workers return a :class:`~repro.fleet.merge.StoreSnapshot`, not a
   ``MetadataStore`` — the store object is not picklable (its bound
   instruments hold locks).
+
+Crash safety (:mod:`repro.faults`): a worker that raises — or is
+killed outright — loses only its own shard. The driver records a
+:class:`ShardFailure` per lost shard, merges every completed shard
+into a partial-but-valid store, and (when a journal directory is
+given) persists each finished shard's payload so a later
+``resume=True`` run re-simulates *only* the failed or missing shards
+and converges on the exact store a fault-free run produces.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
+import os
 import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
@@ -45,6 +56,11 @@ from ..corpus.config import CorpusConfig
 from ..corpus.generator import (Corpus, PipelineRecord, ProgressCallback,
                                 print_progress_every, sample_pipeline_plan,
                                 _simulate_pipeline)
+from ..faults.injector import WorkerCrashError
+from ..faults.journal import (ShardJournal, config_fingerprint,
+                              write_shard_payload)
+from ..faults.plan import FaultPlan, FaultSpec
+from ..faults.retry import RetryPolicy
 from ..mlmd import MetadataStore
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
@@ -53,6 +69,7 @@ from .merge import StoreSnapshot, merge_snapshot, snapshot_store
 
 __all__ = [
     "FleetReport",
+    "ShardFailure",
     "ShardResult",
     "ShardSpec",
     "generate_corpus_fleet",
@@ -126,16 +143,66 @@ class ShardResult:
     elapsed_seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class ShardFailure:
+    """Structured record of one shard the fleet run could not complete."""
+
+    shard_index: int
+    start: int
+    stop: int
+    kind: str  # worker_crash | worker_killed | error
+    message: str
+
+    @property
+    def n_pipelines(self) -> int:
+        """Pipelines missing from the merged store because of this."""
+        return self.stop - self.start
+
+
+def _maybe_crash(crash: FaultSpec | None, spec: ShardSpec,
+                 completed: int) -> None:
+    """Fire an injected worker crash once ``completed`` pipelines ran.
+
+    ``mode="kill"`` dies with ``os._exit`` — but only inside a real
+    worker process; inline shards degrade to the raising mode so a
+    single-process run never takes the driver down with it.
+    """
+    if crash is None or completed != crash.after_pipelines:
+        return
+    if crash.mode == "kill" and multiprocessing.parent_process() is not None:
+        os._exit(17)
+    raise WorkerCrashError(
+        spec.shard_index,
+        f"injected worker crash in shard {spec.shard_index} after "
+        f"{completed} pipeline(s)")
+
+
 def run_shard(spec: ShardSpec, config: CorpusConfig,
               telemetry: bool = False,
-              exec_cache: bool = False) -> ShardResult:
+              exec_cache: bool = False,
+              fault_plan: FaultPlan | None = None,
+              retry_policy: RetryPolicy | None = None,
+              journal_dir: str | Path | None = None,
+              allow_crash: bool = True) -> ShardResult:
     """Simulate one shard into a private store (worker entry point).
 
     Runs in a worker process (or inline for workers=1): installs a
     fresh registry, simulates pipelines ``[spec.start, spec.stop)``
     each on its derived rng, and returns a picklable snapshot.
+
+    With a ``fault_plan``, each pipeline gets its plan-derived fault
+    injector (seeded by global index — shard-invariant), and a
+    ``worker_crash`` rule targeting this shard kills the worker after
+    its ``after_pipelines``-th pipeline (``allow_crash=False`` disarms
+    it, e.g. on resume after the journal already saw the crash). With
+    a ``journal_dir``, the finished shard's store and tallies are
+    persisted there before returning — a crashed worker leaves no
+    payload, only the driver-side failure entry.
     """
     started = perf_counter()
+    crash = None
+    if fault_plan is not None and allow_crash:
+        crash = fault_plan.worker_crash(spec.shard_index)
     previous_registry = set_registry(MetricsRegistry())
     try:
         registry = get_registry()
@@ -147,17 +214,21 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
         records = []
         hits = misses = 0
         saved = 0.0
-        for index in range(spec.start, spec.stop):
+        for offset, index in enumerate(range(spec.start, spec.stop)):
+            _maybe_crash(crash, spec, offset)
             rng = pipeline_rng(config.seed, index)
             archetype, start_time = sample_pipeline_plan(rng, config,
                                                          index)
             # Per-pipeline cache scope: pipelines never share artifacts,
             # and pipeline-local hits are shard-assignment-invariant.
             cache = ExecutionCache() if exec_cache else None
+            injector = (fault_plan.injector(index)
+                        if fault_plan is not None else None)
             with registry.timer("corpus.pipeline_seconds"):
                 record = _simulate_pipeline(
                     store, config, archetype, rng, start_time,
-                    execution_cache=cache)
+                    execution_cache=cache, fault_injector=injector,
+                    retry_policy=retry_policy)
             pipelines_done.value += 1
             records.append(record)
             if cache is not None:
@@ -166,11 +237,18 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
                 saved += cache.saved_cpu_hours
         counters = [record for record in registry.snapshot()
                     if record["kind"] == "counter"]
-        return ShardResult(
-            spec=spec, snapshot=snapshot_store(store), records=records,
-            cache_hits=hits, cache_misses=misses, saved_cpu_hours=saved,
-            counters=counters,
-            elapsed_seconds=perf_counter() - started)
+        elapsed = perf_counter() - started
+        extras = dict(records=records, cache_hits=hits,
+                      cache_misses=misses, saved_cpu_hours=saved,
+                      counters=counters, elapsed_seconds=elapsed)
+        if journal_dir is not None:
+            # Counters were snapshotted first: the journal write's own
+            # store ops must not leak into the folded tallies (resumed
+            # and fresh merges must fold identical numbers).
+            write_shard_payload(journal_dir, spec.shard_index, store,
+                                extras)
+        return ShardResult(spec=spec, snapshot=snapshot_store(store),
+                           **extras)
     finally:
         set_registry(previous_registry)
 
@@ -189,12 +267,25 @@ class FleetReport:
     wall_seconds: float = 0.0
     shard_seconds: list[float] = field(default_factory=list)
     used_processes: bool = False
+    failed_shards: list[ShardFailure] = field(default_factory=list)
+    resumed_shards: int = 0
+    journal_dir: str = ""
 
     @property
     def cache_hit_rate(self) -> float:
         """Hits over cacheable executions (0.0 when cache disabled)."""
         seen = self.cache_hits + self.cache_misses
         return self.cache_hits / seen if seen else 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard made it into the merged store."""
+        return not self.failed_shards
+
+    @property
+    def missing_pipelines(self) -> int:
+        """Pipelines absent from the merged store (failed shards)."""
+        return sum(f.n_pipelines for f in self.failed_shards)
 
 
 def _fold_counters(result: ShardResult) -> None:
@@ -218,7 +309,11 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                           telemetry: bool = False,
                           progress: bool = False,
                           progress_callback: ProgressCallback | None = None,
-                          in_process: bool = False
+                          in_process: bool = False,
+                          fault_plan: FaultPlan | None = None,
+                          retry_policy: RetryPolicy | None = None,
+                          journal_dir: str | Path | None = None,
+                          resume: bool = False
                           ) -> tuple[Corpus, FleetReport]:
     """Generate a corpus by sharded (optionally parallel) simulation.
 
@@ -240,43 +335,150 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
             called after each shard is merged.
         in_process: Force inline shard execution even for workers > 1
             (deterministic tests without process spawn overhead).
+        fault_plan: Seeded :class:`~repro.faults.FaultPlan`; operator
+            faults flow into every runner, ``worker_crash`` rules kill
+            their target shard's worker.
+        retry_policy: :class:`~repro.faults.RetryPolicy` honored by
+            every runner (each attempt its own execution).
+        journal_dir: Directory for the per-shard journal; enables
+            crash-safe resume (see :mod:`repro.faults.journal`).
+        resume: Reuse completed shards from ``journal_dir`` and
+            re-simulate only failed/missing ones. Requires a journal
+            written by a run with the identical config and plan.
 
     Returns:
-        The merged :class:`Corpus` plus a :class:`FleetReport`.
+        The merged :class:`Corpus` plus a :class:`FleetReport`. A run
+        with failed shards still returns a valid (partial) corpus;
+        inspect ``report.failed_shards`` / ``report.complete``.
     """
     config = config or CorpusConfig()
+    if resume and journal_dir is None:
+        raise ValueError("resume=True requires a journal_dir")
     started = perf_counter()
     shards = plan_shards(config.n_pipelines, workers)
     if progress_callback is None and progress:
         # Fleet progress is shard-granular, so report on every merge.
         progress_callback = print_progress_every(1)
+    journal = None
+    if journal_dir is not None:
+        fingerprint = config_fingerprint(
+            config, shards, exec_cache=exec_cache, telemetry=telemetry,
+            fault_plan=fault_plan, retry_policy=retry_policy)
+        journal = ShardJournal(journal_dir, fingerprint)
+        journal.open(shards, resume=resume)
     _log.info("fleet_generation_started", pipelines=config.n_pipelines,
               workers=len(shards), seed=config.seed,
-              exec_cache=exec_cache)
+              exec_cache=exec_cache, resume=resume,
+              faults=len(fault_plan.specs) if fault_plan else 0)
+
+    results: dict[int, ShardResult] = {}
+    failures: dict[int, ShardFailure] = {}
+    to_run: list[ShardSpec] = []
+    resumed = 0
+    for spec in shards:
+        if journal is not None and resume \
+                and journal.is_done(spec.shard_index):
+            shard_store, extras = journal.load_payload(spec.shard_index)
+            results[spec.shard_index] = ShardResult(
+                spec=spec, snapshot=snapshot_store(shard_store), **extras)
+            resumed += 1
+        else:
+            to_run.append(spec)
+    if resumed:
+        _log.info("fleet_shards_resumed", resumed=resumed,
+                  re_running=len(to_run))
+
+    # An injected crash fires once per journal: a shard whose entry
+    # already counted a crash runs disarmed on resume.
+    allow_crash = {
+        spec.shard_index:
+            journal is None or journal.entry(spec.shard_index).crashes == 0
+        for spec in to_run
+    }
+    payload_dir = journal.directory if journal is not None else None
+
+    def record_done(spec: ShardSpec, result: ShardResult) -> None:
+        results[spec.shard_index] = result
+        if journal is not None:
+            journal.record_done(spec.shard_index)
+
+    def record_failure(spec: ShardSpec, kind: str, message: str,
+                       crashed: bool = False) -> None:
+        failures[spec.shard_index] = ShardFailure(
+            spec.shard_index, spec.start, spec.stop, kind, message)
+        if journal is not None:
+            journal.record_failure(spec.shard_index, kind, message,
+                                   crashed=crashed)
+        _log.warning("fleet_shard_failed", shard=spec.shard_index,
+                     kind=kind, reason=message)
+
+    def run_inline(spec: ShardSpec) -> None:
+        try:
+            record_done(spec, run_shard(
+                spec, config, telemetry, exec_cache, fault_plan,
+                retry_policy, payload_dir,
+                allow_crash[spec.shard_index]))
+        except WorkerCrashError as exc:
+            record_failure(spec, "worker_crash", str(exc), crashed=True)
+        except Exception as exc:  # A worker bug loses one shard, not the run.
+            record_failure(spec, "error", f"{type(exc).__name__}: {exc}")
 
     used_processes = False
-    results: list[ShardResult]
-    if len(shards) == 1 or in_process:
-        results = [run_shard(spec, config, telemetry=telemetry,
-                             exec_cache=exec_cache) for spec in shards]
-    else:
+    if to_run and (len(shards) == 1 or in_process or len(to_run) == 1):
+        for spec in to_run:
+            run_inline(spec)
+    elif to_run:
+        pool_casualties: list[ShardSpec] = []
         try:
             with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=len(shards)) as pool:
-                futures = [pool.submit(run_shard, spec, config,
-                                       telemetry, exec_cache)
-                           for spec in shards]
-                results = [future.result() for future in futures]
-            used_processes = True
+                    max_workers=len(to_run)) as pool:
+                futures = {
+                    pool.submit(run_shard, spec, config, telemetry,
+                                exec_cache, fault_plan, retry_policy,
+                                payload_dir,
+                                allow_crash[spec.shard_index]): spec
+                    for spec in to_run
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    spec = futures[future]
+                    try:
+                        record_done(spec, future.result())
+                        used_processes = True
+                    except WorkerCrashError as exc:
+                        record_failure(spec, "worker_crash", str(exc),
+                                       crashed=True)
+                        used_processes = True
+                    except concurrent.futures.process.BrokenProcessPool:
+                        pool_casualties.append(spec)
+                    except Exception as exc:
+                        record_failure(
+                            spec, "error",
+                            f"{type(exc).__name__}: {exc}")
+                        used_processes = True
         except (OSError, pickle.PicklingError,
                 concurrent.futures.process.BrokenProcessPool) as exc:
-            # No usable process pool (restricted sandbox, fork failure):
-            # the run degrades to inline shards, same result, no speedup.
             _log.warning("fleet_pool_unavailable",
                          reason=type(exc).__name__, fallback="in_process")
-            results = [run_shard(spec, config, telemetry=telemetry,
-                                 exec_cache=exec_cache)
-                       for spec in shards]
+            pool_casualties = [
+                spec for spec in to_run
+                if spec.shard_index not in results
+                and spec.shard_index not in failures]
+        # A broken pool can't say which worker died. A shard whose plan
+        # called for a kill-mode crash is the culprit — record it as
+        # crashed; the rest are innocent victims of the shared pool (or
+        # the sandbox denied processes entirely) and re-run inline.
+        for spec in pool_casualties:
+            crash = (fault_plan.worker_crash(spec.shard_index)
+                     if fault_plan is not None else None)
+            if crash is not None and crash.mode == "kill" \
+                    and allow_crash[spec.shard_index]:
+                used_processes = True
+                record_failure(
+                    spec, "worker_killed",
+                    f"worker for shard {spec.shard_index} killed after "
+                    f"{crash.after_pipelines} pipeline(s)", crashed=True)
+            else:
+                run_inline(spec)
 
     store = MetadataStore()
     if telemetry:
@@ -286,11 +488,18 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
     report = FleetReport(workers=len(shards), shards=shards,
                          pipelines=config.n_pipelines,
                          exec_cache=exec_cache,
-                         used_processes=used_processes)
+                         used_processes=used_processes,
+                         resumed_shards=resumed,
+                         journal_dir=str(journal.directory)
+                         if journal is not None else "")
     done = 0
     # Merge in shard order: contiguous shards re-inserted in order give
-    # the same global id assignment as a single-worker run.
-    for result in sorted(results, key=lambda r: r.spec.shard_index):
+    # the same global id assignment as a single-worker run. Failed
+    # shards are skipped — the merged store stays valid, just partial.
+    for spec in shards:
+        result = results.get(spec.shard_index)
+        if result is None:
+            continue
         maps = merge_snapshot(store, result.snapshot)
         for record in result.records:
             record.context_id = maps.context_ids[record.context_id]
@@ -303,12 +512,18 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
         done += result.spec.n_pipelines
         if progress_callback is not None:
             progress_callback(done, config.n_pipelines, store)
+    report.failed_shards = [failures[i] for i in sorted(failures)]
     if telemetry and store.telemetry_sink is not None:
         # The fleet-level instrument snapshot (with folded-in shard
         # counters) persists into the merged store, mirroring the
         # sequential generator's end-of-run registry record.
         store.telemetry_sink.record_registry(get_registry())
     report.wall_seconds = perf_counter() - started
+    if report.failed_shards:
+        _log.warning("fleet_generated_partial",
+                     merged=len(corpus.records),
+                     missing=report.missing_pipelines,
+                     failed_shards=len(report.failed_shards))
     _log.info("fleet_generated", pipelines=len(corpus.records),
               executions=store.num_executions, workers=len(shards),
               used_processes=used_processes,

@@ -21,7 +21,14 @@ from .lineage import (
     trace_node_count,
     upstream_executions,
 )
-from .sqlite_store import load_store, save_store
+from .sqlite_store import (
+    IntegrityReport,
+    SalvageReport,
+    integrity_check,
+    load_store,
+    salvage_store,
+    save_store,
+)
 from .summarize import (
     TraceNode,
     TypeSummary,
@@ -56,11 +63,13 @@ __all__ = [
     "EventType",
     "Execution",
     "ExecutionState",
+    "IntegrityReport",
     "InvalidArgumentError",
     "MetadataError",
     "MetadataStore",
     "NotFoundError",
     "Properties",
+    "SalvageReport",
     "TelemetryRecord",
     "TraceNode",
     "TypeSummary",
@@ -73,7 +82,9 @@ __all__ = [
     "downstream_executions",
     "execution_node",
     "impact_set",
+    "integrity_check",
     "load_store",
+    "salvage_store",
     "provenance_path",
     "reachable",
     "save_store",

@@ -5,12 +5,28 @@ this module adds durable round-tripping so corpora can be generated once
 and re-analyzed later (the paper's corpus is a durable MLMD database).
 
 Property values are stored as JSON; enum states as their string values.
+
+Every connection — reader or writer, happy path or salvage — is opened
+through :func:`connect`, which applies the robustness pragmas:
+
+* ``journal_mode=WAL`` so a reader and a writer can overlap without
+  "database is locked" errors (fleet workers journal shard databases
+  while the driver inspects them);
+* ``busy_timeout`` so residual contention waits instead of raising;
+* ``foreign_keys=ON`` so the edge tables (events, attributions,
+  associations, telemetry) cannot reference rows that don't exist.
+
+For databases that were cut short mid-write (a killed worker, a full
+disk), :func:`integrity_check` reports what's wrong without loading,
+and :func:`salvage_store` recovers every internally-consistent row,
+dropping dangling edges instead of refusing the whole file.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..obs.metrics import get_registry
@@ -26,6 +42,9 @@ from .types import (
     ExecutionState,
     TelemetryRecord,
 )
+
+#: Milliseconds a connection waits on a locked database before raising.
+BUSY_TIMEOUT_MS = 5000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS artifacts (
@@ -54,25 +73,25 @@ CREATE TABLE IF NOT EXISTS contexts (
     properties TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS events (
-    artifact_id INTEGER NOT NULL,
-    execution_id INTEGER NOT NULL,
+    artifact_id INTEGER NOT NULL REFERENCES artifacts(id),
+    execution_id INTEGER NOT NULL REFERENCES executions(id),
     type TEXT NOT NULL,
     time REAL NOT NULL
 );
 CREATE TABLE IF NOT EXISTS attributions (
-    context_id INTEGER NOT NULL,
-    artifact_id INTEGER NOT NULL
+    context_id INTEGER NOT NULL REFERENCES contexts(id),
+    artifact_id INTEGER NOT NULL REFERENCES artifacts(id)
 );
 CREATE TABLE IF NOT EXISTS associations (
-    context_id INTEGER NOT NULL,
-    execution_id INTEGER NOT NULL
+    context_id INTEGER NOT NULL REFERENCES contexts(id),
+    execution_id INTEGER NOT NULL REFERENCES executions(id)
 );
 CREATE TABLE IF NOT EXISTS telemetry (
     id INTEGER PRIMARY KEY,
     kind TEXT NOT NULL,
     name TEXT NOT NULL,
-    execution_id INTEGER,
-    context_id INTEGER,
+    execution_id INTEGER REFERENCES executions(id),
+    context_id INTEGER REFERENCES contexts(id),
     value REAL NOT NULL,
     start_time REAL NOT NULL,
     end_time REAL NOT NULL,
@@ -80,24 +99,46 @@ CREATE TABLE IF NOT EXISTS telemetry (
 );
 """
 
+_TABLES = ("artifacts", "executions", "contexts", "events",
+           "attributions", "associations", "telemetry")
+
+
+def connect(path: str | Path) -> sqlite3.Connection:
+    """Open ``path`` with the robustness pragmas applied.
+
+    This is the single chokepoint for *every* connection this module
+    (and the shard journal) makes: WAL journaling, a busy timeout, and
+    foreign-key enforcement are not happy-path options.
+    """
+    conn = sqlite3.connect(Path(path), timeout=BUSY_TIMEOUT_MS / 1000)
+    conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+    conn.execute("PRAGMA journal_mode = WAL")
+    conn.execute("PRAGMA foreign_keys = ON")
+    conn.execute("PRAGMA synchronous = NORMAL")
+    return conn
+
 
 def save_store(store: MetadataStore, path: str | Path) -> None:
     """Serialize an in-memory store to a SQLite database file.
 
-    Overwrites any prior contents at ``path``.
+    Overwrites any prior contents at ``path`` (including stale WAL
+    sidecars). The WAL is checkpointed back into the main file before
+    closing, so the result is a self-contained single file.
     """
     path = Path(path)
-    if path.exists():
-        path.unlink()
+    for stale in (path, Path(str(path) + "-wal"), Path(str(path) + "-shm")):
+        if stale.exists():
+            stale.unlink()
     registry = get_registry()
     registry.counter("mlmd.save_store_rows").inc(
         store.num_artifacts + store.num_executions + store.num_events
         + store.num_telemetry)
-    conn = sqlite3.connect(path)
+    conn = connect(path)
     with span("mlmd.save_store", path=str(path)), \
             registry.timer("mlmd.save_store_seconds"):
         try:
             _write_all(conn, store)
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         finally:
             conn.close()
 
@@ -163,7 +204,7 @@ def load_store(path: str | Path) -> MetadataStore:
     Node ids are preserved exactly, so events and context memberships
     round-trip without remapping.
     """
-    conn = sqlite3.connect(Path(path))
+    conn = connect(path)
     store = MetadataStore()
     with span("mlmd.load_store", path=str(path)), \
             get_registry().timer("mlmd.load_store_seconds"):
@@ -186,10 +227,17 @@ def _read_all(conn: sqlite3.Connection,
         for row in conn.execute(
                 "SELECT id, type_name, name, state, start_time, end_time,"
                 " properties FROM executions ORDER BY id"):
+            properties = json.loads(row[6])
+            if "retry_of" in properties:
+                # Id-valued retry-provenance property (repro.faults):
+                # the prior attempt has a smaller id, so it is already
+                # mapped by the ORDER BY id scan.
+                properties["retry_of"] = id_map_e[
+                    int(properties["retry_of"])]
             execution = Execution(
                 type_name=row[1], name=row[2], state=ExecutionState(row[3]),
                 start_time=row[4], end_time=row[5],
-                properties=json.loads(row[6]))
+                properties=properties)
             id_map_e[row[0]] = store.put_execution(execution)
         id_map_c: dict[int, int] = {}
         for row in conn.execute(
@@ -198,15 +246,21 @@ def _read_all(conn: sqlite3.Connection,
             context = Context(type_name=row[1], name=row[2],
                               create_time=row[3], properties=json.loads(row[4]))
             id_map_c[row[0]] = store.put_context(context)
+        # Edge tables have no id column; rowid order is insertion order,
+        # which keeps save → load → save byte-stable (shard journals
+        # depend on round trips being deterministic).
         for row in conn.execute(
-                "SELECT artifact_id, execution_id, type, time FROM events"):
+                "SELECT artifact_id, execution_id, type, time FROM events"
+                " ORDER BY rowid"):
             store.put_event(Event(id_map_a[row[0]], id_map_e[row[1]],
                                   EventType(row[2]), row[3]))
         for row in conn.execute(
-                "SELECT context_id, artifact_id FROM attributions"):
+                "SELECT context_id, artifact_id FROM attributions"
+                " ORDER BY rowid"):
             store.put_attribution(id_map_c[row[0]], id_map_a[row[1]])
         for row in conn.execute(
-                "SELECT context_id, execution_id FROM associations"):
+                "SELECT context_id, execution_id FROM associations"
+                " ORDER BY rowid"):
             store.put_association(id_map_c[row[0]], id_map_e[row[1]])
         try:
             telemetry_rows = conn.execute(
@@ -226,3 +280,229 @@ def _read_all(conn: sqlite3.Connection,
     finally:
         conn.close()
     return store
+
+
+# --------------------------------------------------- integrity / salvage
+
+
+@dataclass
+class IntegrityReport:
+    """What :func:`integrity_check` found in one database file."""
+
+    path: str
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    missing_tables: list[str] = field(default_factory=list)
+    dangling: dict[str, int] = field(default_factory=dict)
+    row_counts: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line verdict for logs and CLI output."""
+        if self.ok:
+            rows = sum(self.row_counts.values())
+            return f"{self.path}: ok ({rows:,} rows)"
+        problems = list(self.errors)
+        problems += [f"missing table {t}" for t in self.missing_tables]
+        problems += [f"{n} dangling rows in {t}"
+                     for t, n in self.dangling.items()]
+        return f"{self.path}: " + "; ".join(problems)
+
+
+def integrity_check(path: str | Path) -> IntegrityReport:
+    """Inspect a trace database without loading it.
+
+    Runs sqlite's ``integrity_check`` and ``foreign_key_check`` plus a
+    schema presence check, and reports per-table row counts. Never
+    raises on a corrupt file — corruption is the expected input here.
+    """
+    report = IntegrityReport(path=str(path))
+    if not Path(path).exists():
+        report.ok = False
+        report.errors.append("file does not exist")
+        return report
+    try:
+        conn = connect(path)
+    except sqlite3.Error as exc:
+        report.ok = False
+        report.errors.append(f"unopenable: {exc}")
+        return report
+    try:
+        rows = conn.execute("PRAGMA integrity_check").fetchall()
+        verdicts = [str(r[0]) for r in rows]
+        if verdicts != ["ok"]:
+            report.ok = False
+            report.errors.extend(verdicts[:5])
+        present = {r[0] for r in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'")}
+        for table in _TABLES:
+            if table not in present:
+                report.ok = False
+                report.missing_tables.append(table)
+                continue
+            report.row_counts[table] = conn.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+        for row in conn.execute("PRAGMA foreign_key_check"):
+            table = str(row[0])
+            report.dangling[table] = report.dangling.get(table, 0) + 1
+            report.ok = False
+    except sqlite3.DatabaseError as exc:
+        report.ok = False
+        report.errors.append(f"{type(exc).__name__}: {exc}")
+    finally:
+        conn.close()
+    return report
+
+
+@dataclass
+class SalvageReport:
+    """What :func:`salvage_store` kept and what it had to drop."""
+
+    path: str
+    rows_loaded: dict[str, int] = field(default_factory=dict)
+    rows_dropped: dict[str, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def dropped_total(self) -> int:
+        """Rows dropped across all tables."""
+        return sum(self.rows_dropped.values())
+
+
+def salvage_store(path: str | Path) -> tuple[MetadataStore, SalvageReport]:
+    """Best-effort load of a damaged or partially written database.
+
+    Node tables are read row by row (a malformed row drops that row,
+    not the table); edge rows referencing a node that didn't survive
+    are dropped rather than raising. The result is always an
+    internally consistent store — possibly smaller than the original,
+    never inconsistent.
+    """
+    report = SalvageReport(path=str(path))
+    store = MetadataStore()
+    try:
+        conn = connect(path)
+    except sqlite3.Error as exc:
+        report.errors.append(f"unopenable: {exc}")
+        return store, report
+
+    id_map_a: dict[int, int] = {}
+    id_map_e: dict[int, int] = {}
+    id_map_c: dict[int, int] = {}
+
+    def rows_of(sql: str, table: str):
+        try:
+            yield from conn.execute(sql)
+        except sqlite3.Error as exc:
+            report.errors.append(f"{table}: {type(exc).__name__}: {exc}")
+
+    def keep(table: str) -> None:
+        report.rows_loaded[table] = report.rows_loaded.get(table, 0) + 1
+
+    def drop(table: str) -> None:
+        report.rows_dropped[table] = report.rows_dropped.get(table, 0) + 1
+
+    try:
+        for row in rows_of(
+                "SELECT id, type_name, name, uri, state, create_time,"
+                " properties FROM artifacts ORDER BY id", "artifacts"):
+            try:
+                properties = json.loads(row[6])
+                for key in ("source_statistics", "model_artifact"):
+                    # Id-valued artifact properties: remap, or strip if
+                    # they point at a row that did not survive salvage.
+                    if key in properties:
+                        prior = id_map_a.get(int(properties[key]))
+                        if prior is None:
+                            del properties[key]
+                        else:
+                            properties[key] = prior
+                id_map_a[row[0]] = store.put_artifact(Artifact(
+                    type_name=row[1], name=row[2], uri=row[3],
+                    state=ArtifactState(row[4]), create_time=row[5],
+                    properties=properties))
+                keep("artifacts")
+            except Exception:
+                drop("artifacts")
+        for row in rows_of(
+                "SELECT id, type_name, name, state, start_time, end_time,"
+                " properties FROM executions ORDER BY id", "executions"):
+            try:
+                properties = json.loads(row[6])
+                if "retry_of" in properties:
+                    # Remap retry provenance; a retry_of pointing at a
+                    # dropped attempt is itself dangling and removed.
+                    prior = id_map_e.get(int(properties["retry_of"]))
+                    if prior is None:
+                        del properties["retry_of"]
+                    else:
+                        properties["retry_of"] = prior
+                id_map_e[row[0]] = store.put_execution(Execution(
+                    type_name=row[1], name=row[2],
+                    state=ExecutionState(row[3]), start_time=row[4],
+                    end_time=row[5], properties=properties))
+                keep("executions")
+            except Exception:
+                drop("executions")
+        for row in rows_of(
+                "SELECT id, type_name, name, create_time, properties"
+                " FROM contexts ORDER BY id", "contexts"):
+            try:
+                id_map_c[row[0]] = store.put_context(Context(
+                    type_name=row[1], name=row[2], create_time=row[3],
+                    properties=json.loads(row[4])))
+                keep("contexts")
+            except Exception:
+                drop("contexts")
+        for row in rows_of(
+                "SELECT artifact_id, execution_id, type, time FROM events"
+                " ORDER BY rowid", "events"):
+            if row[0] in id_map_a and row[1] in id_map_e:
+                try:
+                    store.put_event(Event(id_map_a[row[0]],
+                                          id_map_e[row[1]],
+                                          EventType(row[2]), row[3]))
+                    keep("events")
+                    continue
+                except Exception:
+                    pass
+            drop("events")
+        for row in rows_of(
+                "SELECT context_id, artifact_id FROM attributions"
+                " ORDER BY rowid", "attributions"):
+            if row[0] in id_map_c and row[1] in id_map_a:
+                store.put_attribution(id_map_c[row[0]], id_map_a[row[1]])
+                keep("attributions")
+            else:
+                drop("attributions")
+        for row in rows_of(
+                "SELECT context_id, execution_id FROM associations"
+                " ORDER BY rowid", "associations"):
+            if row[0] in id_map_c and row[1] in id_map_e:
+                store.put_association(id_map_c[row[0]], id_map_e[row[1]])
+                keep("associations")
+            else:
+                drop("associations")
+        for row in rows_of(
+                "SELECT kind, name, execution_id, context_id, value,"
+                " start_time, end_time, properties FROM telemetry"
+                " ORDER BY id", "telemetry"):
+            execution_ok = row[2] is None or row[2] in id_map_e
+            context_ok = row[3] is None or row[3] in id_map_c
+            if execution_ok and context_ok:
+                try:
+                    store.put_telemetry(TelemetryRecord(
+                        kind=row[0], name=row[1],
+                        execution_id=None if row[2] is None
+                        else id_map_e[row[2]],
+                        context_id=None if row[3] is None
+                        else id_map_c[row[3]],
+                        value=row[4], start_time=row[5], end_time=row[6],
+                        properties=json.loads(row[7])))
+                    keep("telemetry")
+                    continue
+                except Exception:
+                    pass
+            drop("telemetry")
+    finally:
+        conn.close()
+    return store, report

@@ -38,9 +38,11 @@ from .provenance import NODE_KIND
 __all__ = [
     "CostSplit",
     "CriticalPath",
+    "FailureRecord",
     "OperatorStats",
     "PipelineDiagnosis",
     "RegressionFlag",
+    "collect_failures",
     "critical_path",
     "diagnose_pipeline",
     "execution_dag",
@@ -332,6 +334,49 @@ class GraphletSummary:
 
 
 @dataclass
+class FailureRecord:
+    """One FAILED execution with its persisted failure provenance.
+
+    The runtime (:mod:`repro.tfx.runtime`) records *why* an execution
+    failed — failure kind, failing node/operator, error class and
+    message, attempt number, and the attempt it retried — so a
+    diagnosis can show the story, not just the state.
+    """
+
+    execution_id: int
+    operator: str
+    node: str
+    kind: str
+    error: str
+    message: str
+    attempt: int = 1
+    retry_of: int | None = None
+    cpu_hours: float = 0.0
+
+
+def collect_failures(store: MetadataStore, context_id: int
+                     ) -> list[FailureRecord]:
+    """Every FAILED execution of a pipeline, with failure provenance."""
+    out: list[FailureRecord] = []
+    for execution in store.get_executions_by_context(context_id):
+        if execution.state.value != "failed":
+            continue
+        retry_of = execution.get("retry_of")
+        out.append(FailureRecord(
+            execution_id=execution.id,
+            operator=str(execution.get("failed_operator",
+                                       execution.type_name)),
+            node=str(execution.get("failed_node", "")),
+            kind=str(execution.get("failure_kind", "unknown")),
+            error=str(execution.get("error", "")),
+            message=str(execution.get("error_message", "")),
+            attempt=int(execution.get("attempt", 1)),
+            retry_of=None if retry_of is None else int(retry_of),
+            cpu_hours=float(execution.get("cpu_hours", 0.0))))
+    return out
+
+
+@dataclass
 class PipelineDiagnosis:
     """Everything ``repro diagnose`` prints for one pipeline."""
 
@@ -348,6 +393,7 @@ class PipelineDiagnosis:
     telemetry_rows: int
     n_cached: int = 0
     saved_cpu_hours: float = 0.0
+    failures: list[FailureRecord] = field(default_factory=list)
 
     @property
     def telemetry_coverage(self) -> float:
@@ -419,4 +465,5 @@ def diagnose_pipeline(store: MetadataStore, context_id: int,
                      if e.state.value == "cached"),
         saved_cpu_hours=sum(
             float(e.get("saved_cpu_hours", 0.0)) for e in executions
-            if e.state.value == "cached"))
+            if e.state.value == "cached"),
+        failures=collect_failures(store, context_id))

@@ -81,6 +81,9 @@ class OperatorContext:
     payloads: dict[int, Any] = field(default_factory=dict)
     hints: dict[str, Any] = field(default_factory=dict)
     pipeline_state: dict[str, Any] = field(default_factory=dict)
+    #: 1-based attempt number under the runner's retry policy; an
+    #: operator may e.g. shrink its workload on later attempts.
+    attempt: int = 1
 
     def payload_of(self, artifact: Artifact) -> Any:
         """Return the in-memory payload of an artifact (or None)."""

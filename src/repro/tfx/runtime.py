@@ -30,6 +30,7 @@ from ..mlmd import (
 )
 from time import perf_counter
 
+from ..faults.injector import CORRUPT_INPUT_FAULT, hint_fault
 from ..obs.metrics import get_registry
 from ..obs.tracing import get_tracer
 from .cost import CostModel
@@ -37,6 +38,8 @@ from .operators.base import OperatorContext, OperatorResult
 from .pipeline import INGEST_STAGE, PipelineDef, PipelineNode
 
 if TYPE_CHECKING:  # imported lazily to avoid a tfx <-> fleet cycle
+    from ..faults.injector import FaultInjector, InjectedFault
+    from ..faults.retry import RetryPolicy
     from ..fleet.cache import ExecutionCache
 
 #: Node statuses reported per run.
@@ -85,6 +88,16 @@ class PipelineRunner:
             The would-be cost is still drawn from ``rng``, so cached and
             uncached runs of the same seed consume identical random
             streams (their traces differ only where the cache hit).
+        fault_injector: Optional per-pipeline
+            :class:`repro.faults.FaultInjector`. Injected faults flow
+            through the same code path as the legacy ``fail_nodes``
+            hints, but draw from the fault plan's own random stream —
+            the simulation rng is never consulted to decide a fault.
+        retry_policy: Optional :class:`repro.faults.RetryPolicy`. A
+            failed attempt is re-run (after deterministic backoff)
+            while the policy allows it; every attempt persists as its
+            own execution, retries carrying ``retry_of`` / ``attempt``
+            properties so waste analyses can price retry amplification.
     """
 
     def __init__(self, pipeline: PipelineDef, store: MetadataStore,
@@ -93,7 +106,9 @@ class PipelineRunner:
                  cost_model: CostModel | None = None,
                  pipeline_cost_scale: float = 1.0,
                  parallelism: float = 8.0,
-                 execution_cache: "ExecutionCache | None" = None) -> None:
+                 execution_cache: "ExecutionCache | None" = None,
+                 fault_injector: "FaultInjector | None" = None,
+                 retry_policy: "RetryPolicy | None" = None) -> None:
         self.pipeline = pipeline
         self.store = store
         self.rng = rng
@@ -102,6 +117,14 @@ class PipelineRunner:
         self.pipeline_cost_scale = pipeline_cost_scale
         self.parallelism = parallelism
         self.execution_cache = execution_cache
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        # Backoff jitter draws from the fault stream when a plan is
+        # live, else from a fixed per-runner stream — never from the
+        # simulation rng, which must stay aligned across fault configs.
+        self._retry_rng = (fault_injector.rng
+                          if fault_injector is not None
+                          else np.random.default_rng(0x5EED))
         self.payloads: dict[int, Any] = {}
         self.pipeline_state: dict[str, Any] = {}
         self._history: dict[tuple[str, str], list[int]] = {}
@@ -119,6 +142,7 @@ class PipelineRunner:
             for kind in ("train", "retrain", INGEST_STAGE)
         }
         self._m_pushes = registry.counter("runtime.pushes")
+        self._m_retries = registry.counter("runtime.retry_attempts")
         self._m_node_status = {
             status: registry.counter("runtime.node_status", status=status)
             for status in (RAN, FAILED, BLOCKED, SKIPPED, NOT_IN_STAGE,
@@ -236,10 +260,29 @@ class PipelineRunner:
     def _run_node(self, node: PipelineNode, now: float, hints: dict,
                   report: RunReport,
                   fresh_outputs: dict[str, bool]) -> tuple[str, float]:
-        # Gate check: any gating validator currently blocking?
+        # Gate check: any gating validator currently blocking? A gate
+        # that FAILED or was BLOCKED this run and has *never* produced
+        # a verdict blocks its dependents — there is no blessing to
+        # consume, stale or otherwise. Once a gate has ruled at least
+        # once, a round where it could not run falls back to its most
+        # recent verdict, mirroring TFX consuming the latest blessing
+        # artifact.
         for gate in node.gates:
+            if (gate not in self._last_result
+                    and report.node_status.get(gate) in (FAILED, BLOCKED)):
+                return BLOCKED, 0.0
             if self._last_result.get(gate) in ("blocking", FAILED,
                                                SKIPPED, BLOCKED):
+                return BLOCKED, 0.0
+        # Failure propagation: a producer that FAILED (or was itself
+        # BLOCKED) this run blocks every required consumer. Without
+        # this, a consumer with a rolling input window would happily
+        # RUN on stale spans while its upstream lies dead — descendants
+        # of a failure must read BLOCKED, never RAN.
+        for key, spec in node.inputs.items():
+            if key in node.operator.optional_inputs:
+                continue
+            if report.node_status.get(spec.source) in (FAILED, BLOCKED):
                 return BLOCKED, 0.0
         # Resolve inputs from history.
         inputs: dict[str, list[Artifact]] = {}
@@ -270,16 +313,29 @@ class PipelineRunner:
         node_overrides = hints.get("node_overrides")
         if node_overrides and node.node_id in node_overrides:
             effective_hints = {**hints, **node_overrides[node.node_id]}
-        ctx = OperatorContext(
-            now=now, rng=self.rng, simulation=self.simulation,
-            payloads=self.payloads, hints=effective_hints,
-            pipeline_state=self.pipeline_state)
-        injected_failure = (node.node_id in hints.get("fail_nodes", ())
-                            or hints.get("fail_node") == node.node_id)
 
+        # One unified fault decision: plan-injected faults first, then
+        # the legacy hints (same InjectedFault representation), then
+        # corrupt-input poisoning. Corruption faults do not fail the
+        # producing node, so a corrupt *input* still takes precedence.
+        fault: InjectedFault | None = None
+        if self.fault_injector is not None:
+            fault = self.fault_injector.draw(node.operator.name,
+                                             node.node_id)
+        if fault is None:
+            fault = hint_fault(hints, node.node_id)
+        if fault is None or fault.corrupts:
+            if any(artifact.get("corrupted")
+                   for artifacts in inputs.values()
+                   for artifact in artifacts):
+                fault = CORRUPT_INPUT_FAULT
+
+        # The cache is consulted only for fault-free executions: a
+        # CACHED replay must never mask an injected failure, and a
+        # corrupting execution must not poison the cache.
         cache = self.execution_cache
         cache_key = None
-        if cache is not None and not injected_failure:
+        if cache is not None and fault is None:
             cache_key = cache.key(node.operator, inputs)
             if cache_key is not None:
                 entry = cache.lookup(cache_key)
@@ -287,55 +343,37 @@ class PipelineRunner:
                     return self._replay_cached(node, entry, inputs, start,
                                                now, report, fresh_outputs)
 
-        execution = Execution(type_name=node.operator.name,
-                              start_time=start,
-                              state=ExecutionState.RUNNING)
-        execution_id = self.store.put_execution(execution)
-        self.store.put_association(self.context_id, execution_id)
-        for artifacts in inputs.values():
-            for artifact in artifacts:
-                self.store.put_event(Event(artifact.id, execution_id,
-                                           EventType.INPUT, time=start))
-        report.execution_ids[node.node_id] = execution_id
-
-        error: Exception | None = None
-        result: OperatorResult | None = None
-        if not injected_failure:
-            try:
-                result = node.operator.run(ctx, inputs)
-            except Exception as exc:  # Operator bugs become FAILED runs.
-                error = exc
-        failed = injected_failure or error is not None or (
-            result is not None and not result.ok)
-
-        cost_scale = (result.cost_scale if result is not None else 1.0)
-        cpu_hours = self.cost_model.sample(
-            node.operator.group, self.rng,
-            scale=cost_scale * self.pipeline_cost_scale)
-        duration = self.cost_model.wall_clock_hours(cpu_hours,
-                                                    self.parallelism)
-        self._m_node_cpu_hours[node.node_id].record(cpu_hours)
-        execution.end_time = start + duration
-        execution.properties["cpu_hours"] = float(cpu_hours)
-        execution.properties["group"] = node.operator.group.value
-        if node.operator.name == "Trainer":
-            code_version = effective_hints.get(
-                "code_version", getattr(node.operator, "code_version", ""))
-            execution.properties["code_version"] = str(code_version)
-        if error is not None:
-            execution.properties["error"] = type(error).__name__
-
-        if failed:
-            execution.state = ExecutionState.FAILED
-            self.store.put_execution(execution)
+        # Attempt loop: each attempt is its own execution; the retry
+        # policy decides whether a failure earns another attempt and
+        # how long the (jittered, deterministic) backoff lasts.
+        policy = self.retry_policy
+        attempt = 1
+        attempt_start = start
+        retry_of: int | None = None
+        while True:
+            failed, execution, result = self._attempt_node(
+                node, inputs, attempt_start, now, effective_hints, fault,
+                attempt, retry_of, report)
+            if not failed:
+                break
             self._last_result[node.node_id] = FAILED
-            report.total_cpu_hours += cpu_hours
-            return FAILED, execution.end_time - now
+            report.total_cpu_hours += float(
+                execution.properties["cpu_hours"])
+            elapsed = execution.end_time - start
+            if policy is None or not policy.allows(
+                    attempt + 1, elapsed, node.operator.name):
+                return FAILED, execution.end_time - now
+            self._m_retries.value += 1
+            attempt_start = execution.end_time + policy.backoff_hours(
+                attempt, self._retry_rng)
+            retry_of = execution.id
+            attempt += 1
 
-        execution.state = ExecutionState.COMPLETE
-        self.store.put_execution(execution)
+        execution_id = execution.id
+        cpu_hours = float(execution.properties["cpu_hours"])
         if cache_key is not None:
             cache.store(cache_key, result)
+        corrupting = fault is not None and fault.corrupts
         produced_any = False
         for key, output_list in result.outputs.items():
             ids: list[int] = []
@@ -343,6 +381,8 @@ class PipelineRunner:
                 artifact = Artifact(type_name=output.type_name,
                                     create_time=execution.end_time,
                                     properties=output.properties)
+                if corrupting:
+                    artifact.properties["corrupted"] = True
                 artifact_id = self.store.put_artifact(artifact)
                 self.store.put_attribution(self.context_id, artifact_id)
                 self.store.put_event(Event(artifact_id, execution_id,
@@ -364,6 +404,83 @@ class PipelineRunner:
             "blocking" if result.blocking else "ok")
         report.total_cpu_hours += cpu_hours
         return RAN, execution.end_time - now
+
+    # ------------------------------------------------------------------
+
+    def _attempt_node(self, node: PipelineNode, inputs: dict,
+                      start: float, now: float, effective_hints: dict,
+                      fault: "InjectedFault | None", attempt: int,
+                      retry_of: int | None, report: RunReport
+                      ) -> tuple[bool, Execution, OperatorResult | None]:
+        """Execute one attempt of one node as its own MLMD execution.
+
+        Failed attempts persist full provenance: ``failure_kind``,
+        ``failed_node``/``failed_operator``, the exception class and
+        message when an operator raised, and — on retries —
+        ``attempt`` and ``retry_of`` (the previous attempt's execution
+        id), forming a per-node retry chain in the trace.
+        """
+        execution = Execution(type_name=node.operator.name,
+                              start_time=start,
+                              state=ExecutionState.RUNNING)
+        execution_id = self.store.put_execution(execution)
+        self.store.put_association(self.context_id, execution_id)
+        for artifacts in inputs.values():
+            for artifact in artifacts:
+                self.store.put_event(Event(artifact.id, execution_id,
+                                           EventType.INPUT, time=start))
+        report.execution_ids[node.node_id] = execution_id
+
+        ctx = OperatorContext(
+            now=now, rng=self.rng, simulation=self.simulation,
+            payloads=self.payloads, hints=effective_hints,
+            pipeline_state=self.pipeline_state, attempt=attempt)
+        fault_fires = fault is not None and fault.fails(attempt)
+        error: Exception | None = None
+        result: OperatorResult | None = None
+        if not fault_fires:
+            try:
+                result = node.operator.run(ctx, inputs)
+            except Exception as exc:  # Operator bugs become FAILED runs.
+                error = exc
+        failed = fault_fires or error is not None or (
+            result is not None and not result.ok)
+
+        cost_scale = (result.cost_scale if result is not None else 1.0)
+        cpu_hours = self.cost_model.sample(
+            node.operator.group, self.rng,
+            scale=cost_scale * self.pipeline_cost_scale)
+        duration = self.cost_model.wall_clock_hours(cpu_hours,
+                                                    self.parallelism)
+        self._m_node_cpu_hours[node.node_id].record(cpu_hours)
+        execution.end_time = start + duration
+        execution.properties["cpu_hours"] = float(cpu_hours)
+        execution.properties["group"] = node.operator.group.value
+        if node.operator.name == "Trainer":
+            code_version = effective_hints.get(
+                "code_version", getattr(node.operator, "code_version", ""))
+            execution.properties["code_version"] = str(code_version)
+        if attempt > 1:
+            execution.properties["attempt"] = attempt
+            execution.properties["retry_of"] = int(retry_of)
+        if error is not None:
+            execution.properties["error"] = type(error).__name__
+            execution.properties["error_message"] = str(error)[:500]
+        if failed:
+            if fault_fires:
+                kind = fault.failure_kind
+            elif error is not None:
+                kind = "operator_error"
+            else:
+                kind = "operator_reported"
+            execution.properties["failure_kind"] = kind
+            execution.properties["failed_node"] = node.node_id
+            execution.properties["failed_operator"] = node.operator.name
+            execution.state = ExecutionState.FAILED
+        else:
+            execution.state = ExecutionState.COMPLETE
+        self.store.put_execution(execution)
+        return failed, execution, result
 
     # ------------------------------------------------------------------
 

@@ -108,6 +108,48 @@ class TestPipelineLevel:
         assert failure["total_cpu_hours"] > 0
         assert 0 <= failure["failed_fraction"] < 0.5
 
+    def test_retry_stats_zero_retries_on_seed_corpus(self, small_corpus):
+        stats = pipeline_level.retry_stats(
+            small_corpus.store, small_corpus.production_context_ids)
+        assert stats["retried_executions"] == 0
+        assert stats["retried_cpu_hours"] == 0.0
+        assert stats["max_attempt"] == 1
+        assert stats["retry_amplification"] == pytest.approx(1.0)
+        # Without retries the wasted bucket is exactly failure_cost's
+        # failed compute, and the partition still reconciles.
+        failure = pipeline_level.failure_cost(
+            small_corpus.store, small_corpus.production_context_ids)
+        assert stats["wasted_cpu_hours"] == pytest.approx(
+            failure["failed_cpu_hours"], rel=1e-9)
+        assert stats["total_cpu_hours"] == pytest.approx(
+            stats["useful_cpu_hours"] + stats["wasted_cpu_hours"],
+            rel=1e-9)
+
+    def test_retry_stats_reconcile_exactly_under_faults(self):
+        from repro.corpus import CorpusConfig, generate_corpus
+        from repro.faults import FaultPlan, RetryPolicy
+        corpus = generate_corpus(
+            CorpusConfig(n_pipelines=6, seed=13,
+                         max_graphlets_per_pipeline=8,
+                         max_window_spans=6),
+            fault_plan=FaultPlan.parse("transient:*:0.2", seed=2),
+            retry_policy=RetryPolicy(max_attempts=3))
+        stats = pipeline_level.retry_stats(
+            corpus.store, corpus.production_context_ids)
+        assert stats["retried_executions"] > 0
+        assert stats["max_attempt"] >= 2
+        assert stats["retry_amplification"] > 1.0
+        assert stats["total_cpu_hours"] == pytest.approx(
+            stats["useful_cpu_hours"] + stats["wasted_cpu_hours"]
+            + stats["retried_cpu_hours"], rel=1e-12)
+        # Every superseded attempt is FAILED compute priced separately
+        # from terminally wasted compute.
+        total = sum(
+            float(e.get("cpu_hours", 0.0))
+            for cid in corpus.production_context_ids
+            for e in corpus.store.get_executions_by_context(cid))
+        assert stats["total_cpu_hours"] == pytest.approx(total, rel=1e-12)
+
     def test_cached_stats_zero_without_cache(self, small_corpus):
         # The seed corpus is generated without the execution cache, so
         # the aggregate must report zero cached work over a real total.

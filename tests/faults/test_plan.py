@@ -1,0 +1,163 @@
+"""Fault plan tests: parsing, serialization, seeded injection."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+
+class TestSpecValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.TRANSIENT, probability=1.5)
+
+    def test_worker_crash_requires_shard(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.WORKER_CRASH)
+
+    def test_unknown_crash_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.WORKER_CRASH, shard_index=0,
+                      mode="segfault")
+
+    def test_matches_operator_node_and_wildcard(self):
+        spec = FaultSpec(kind=FaultKind.TRANSIENT, operator="Trainer",
+                         probability=0.5)
+        assert spec.matches("Trainer", "trainer0")
+        assert spec.matches("anything", "Trainer")
+        assert not spec.matches("Evaluator", "evaluator")
+        wild = FaultSpec(kind=FaultKind.TRANSIENT, operator="*",
+                         probability=0.5)
+        assert wild.matches("Evaluator", "evaluator")
+
+
+class TestParse:
+    def test_spec_grammar(self):
+        plan = FaultPlan.parse(
+            "transient:Trainer:0.2;permanent:*:0.05:3;"
+            "worker_crash:1:2:kill", seed=9)
+        assert plan.seed == 9
+        kinds = [s.kind for s in plan.specs]
+        assert kinds == [FaultKind.TRANSIENT, FaultKind.PERMANENT,
+                         FaultKind.WORKER_CRASH]
+        assert plan.specs[1].max_injections == 3
+        crash = plan.worker_crash(1)
+        assert crash is not None
+        assert (crash.after_pipelines, crash.mode) == (2, "kill")
+        assert plan.worker_crash(0) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("meteor:*:0.1")
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.parse("store_write:Pusher:0.1;worker_crash:0",
+                               seed=4)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_inline_json(self):
+        plan = FaultPlan.parse(json.dumps(
+            {"seed": 2, "specs": [
+                {"kind": "artifact_corruption", "operator": "ExampleGen",
+                 "probability": 0.3}]}))
+        assert plan.seed == 2
+        assert plan.specs[0].kind is FaultKind.ARTIFACT_CORRUPTION
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan.parse("transient:*:0.5", seed=1)
+        path.write_text(plan.to_json())
+        assert FaultPlan.parse(str(path)) == plan
+
+
+class TestInjector:
+    def test_crash_only_plan_has_no_injector(self):
+        plan = FaultPlan.parse("worker_crash:1")
+        assert plan.injector(0) is None
+
+    def test_deterministic_per_pipeline(self):
+        plan = FaultPlan.parse("transient:*:0.5", seed=6)
+        draws_a = [plan.injector(3).draw("Trainer", "trainer")
+                   for _ in range(1)]
+        draws_b = [plan.injector(3).draw("Trainer", "trainer")
+                   for _ in range(1)]
+        assert [d is not None for d in draws_a] == \
+            [d is not None for d in draws_b]
+        # Different pipelines get different streams.
+        outcomes = set()
+        for index in range(32):
+            injector = plan.injector(index)
+            outcomes.add(tuple(
+                injector.draw("Trainer", "trainer") is not None
+                for _ in range(4)))
+        assert len(outcomes) > 1
+
+    def test_cap_limits_but_keeps_stream(self):
+        # A capped spec must consume the same rng draws as an uncapped
+        # one; only the fault decisions after the cap change.
+        specs_capped = (FaultSpec(kind=FaultKind.TRANSIENT, operator="*",
+                                  probability=1.0, max_injections=2),)
+        specs_free = (FaultSpec(kind=FaultKind.TRANSIENT, operator="*",
+                                probability=1.0),)
+        capped = FaultInjector(specs_capped, np.random.default_rng(0))
+        free = FaultInjector(specs_free, np.random.default_rng(0))
+        capped_hits = [capped.draw("Trainer", "t") is not None
+                       for _ in range(5)]
+        free_hits = [free.draw("Trainer", "t") is not None
+                     for _ in range(5)]
+        assert capped_hits == [True, True, False, False, False]
+        assert free_hits == [True] * 5
+        # Both injectors consumed identical draw counts.
+        assert capped.rng.random() == free.rng.random()
+
+    def test_fault_shape_by_kind(self):
+        def only(kind):
+            injector = FaultInjector(
+                (FaultSpec(kind=kind, operator="*", probability=1.0),),
+                np.random.default_rng(0))
+            return injector.draw("Trainer", "t")
+
+        assert only(FaultKind.TRANSIENT).fails(1)
+        assert not only(FaultKind.TRANSIENT).fails(2)
+        assert only(FaultKind.PERMANENT).fails(99)
+        corrupt = only(FaultKind.ARTIFACT_CORRUPTION)
+        assert corrupt.corrupts and not corrupt.fails(1)
+        store_write = only(FaultKind.STORE_WRITE)
+        assert store_write.fails(1) and not store_write.fails(2)
+
+
+class TestRetryPolicy:
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(3, 0.0, "Trainer")
+        assert not policy.allows(4, 0.0, "Trainer")
+
+    def test_operator_deadline_overrides(self):
+        policy = RetryPolicy(max_attempts=5, deadline_hours=10.0,
+                             operator_deadlines={"Trainer": 1.0})
+        assert policy.allows(2, 5.0, "Evaluator")
+        assert not policy.allows(2, 5.0, "Trainer")
+
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_base_hours=0.1, backoff_factor=2.0,
+                             jitter_fraction=0.25)
+        first = policy.backoff_hours(1, np.random.default_rng(5))
+        second = policy.backoff_hours(2, np.random.default_rng(5))
+        assert 0.1 <= first <= 0.125
+        assert 0.2 <= second <= 0.25
+        assert first == policy.backoff_hours(1, np.random.default_rng(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)

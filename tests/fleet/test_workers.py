@@ -3,6 +3,7 @@
 import pytest
 
 from repro.corpus import CorpusConfig
+from repro.faults import FaultPlan, journal_dir_for
 from repro.fleet import (
     generate_corpus_fleet,
     pipeline_rng,
@@ -164,6 +165,44 @@ class TestRunShard:
         before = counter.value
         run_shard(plan_shards(config.n_pipelines, 2)[0], config)
         assert counter.value == before
+
+
+class TestShardFailureDegradation:
+    def test_crashed_worker_loses_only_its_shard(self):
+        plan = FaultPlan.parse("worker_crash:0:1")
+        corpus, report = generate_corpus_fleet(
+            _tiny_config(), workers=3, in_process=True, fault_plan=plan)
+        assert not report.complete
+        assert [f.kind for f in report.failed_shards] == ["worker_crash"]
+        assert report.failed_shards[0].shard_index == 0
+        assert report.missing_pipelines == 2
+        # The other two shards merged into a valid partial corpus.
+        assert len(corpus.records) == 4
+        assert corpus.store.num_executions > 0
+
+    def test_failure_message_names_the_shard(self):
+        plan = FaultPlan.parse("worker_crash:2:1")
+        _, report = generate_corpus_fleet(
+            _tiny_config(), workers=3, in_process=True, fault_plan=plan)
+        failure = report.failed_shards[0]
+        assert "shard 2" in failure.message
+
+    def test_counters_fold_identically_on_resume(self, tmp_path):
+        # A resumed run folds the journaled shards' counters, so the
+        # total matches a fault-free run exactly — resumed pipelines
+        # are not re-counted and not forgotten.
+        counter = get_registry().counter("corpus.pipelines_generated")
+        plan = FaultPlan.parse("worker_crash:1:1")
+        journal_dir = journal_dir_for(tmp_path / "corpus.db")
+        before = counter.value
+        generate_corpus_fleet(_tiny_config(), workers=3, in_process=True,
+                              fault_plan=plan, journal_dir=journal_dir)
+        assert counter.value == before + 4  # crashed shard lost its 2
+        before = counter.value
+        generate_corpus_fleet(_tiny_config(), workers=3, in_process=True,
+                              fault_plan=plan, journal_dir=journal_dir,
+                              resume=True)
+        assert counter.value == before + 6  # 4 journaled + 2 re-run
 
 
 class TestExecCache:

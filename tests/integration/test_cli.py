@@ -268,6 +268,25 @@ class TestFleetCLI:
         assert main(["summarize", str(fleet_corpus)]) == 0
         assert "Trainer" in capsys.readouterr().out
 
+    def test_fault_flags_off_by_default(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.fault_plan is None
+        assert args.fault_seed == 0
+        assert args.retries == 0
+        assert not args.resume
+
+    def test_bad_fault_plan_exits_2(self, tmp_path, capsys):
+        code = main(["generate", "--pipelines", "2", "--fault-plan",
+                     "meteor:*:0.1", "--out", str(tmp_path / "x.db")])
+        assert code == 2
+        assert "fault" in capsys.readouterr().err.lower()
+
+    def test_resume_without_journal_exits_2(self, tmp_path, capsys):
+        code = main(["generate", "--pipelines", "2", "--resume",
+                     "--out", str(tmp_path / "fresh.db")])
+        assert code == 2
+        assert "resume" in capsys.readouterr().err.lower()
+
     def test_workers_match_sequential_counts(self, tmp_path, capsys):
         # Same seed, 1 vs 3 workers: identical saved stores.
         single = tmp_path / "w1.db"
@@ -281,3 +300,90 @@ class TestFleetCLI:
                  if line.startswith("saved ")]
         assert len(saved) == 2
         assert saved[0] == saved[1].replace(str(triple), str(single))
+
+
+def _dump(path):
+    import sqlite3
+    conn = sqlite3.connect(path)
+    try:
+        return "\n".join(conn.iterdump())
+    finally:
+        conn.close()
+
+
+CHAOS_ARGS = ["--pipelines", "6", "--seed", "11", "--max-graphlets", "8",
+              "--fault-plan", "transient:Trainer:0.4;worker_crash:1:1",
+              "--fault-seed", "3", "--retries", "1", "--no-telemetry"]
+
+
+@pytest.fixture(scope="module")
+def faulted_corpus(tmp_path_factory):
+    """A corpus generated under a transient-fault plan with retries."""
+    path = tmp_path_factory.mktemp("cli-faults") / "faulted.db"
+    code = main(["generate", "--pipelines", "10", "--seed", "5",
+                 "--max-graphlets", "12", "--fault-plan",
+                 "transient:*:0.25", "--fault-seed", "1",
+                 "--retries", "2", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestChaosEndToEnd:
+    """Satellite (f) locally: crash → partial (exit 3) → resume →
+    store identical to the fault-free workers=1 run."""
+
+    def test_crash_resume_converges(self, tmp_path, capsys):
+        crashed = tmp_path / "crashed.db"
+        code = main(["generate", *CHAOS_ARGS, "--workers", "3",
+                     "--out", str(crashed)])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "PARTIAL RUN" in out
+        assert "--resume" in out
+        journal = crashed.parent / (crashed.name + ".shards")
+        assert journal.exists()
+
+        code = main(["generate", *CHAOS_ARGS, "--workers", "3",
+                     "--resume", "--out", str(crashed)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed" in out
+        assert not journal.exists()  # cleaned up after a full merge
+
+        # The same plan at workers=1 lays out a single shard 0, so the
+        # crash spec never fires: that run is the fault-free baseline.
+        baseline = tmp_path / "baseline.db"
+        assert main(["generate", *CHAOS_ARGS, "--workers", "1",
+                     "--out", str(baseline)]) == 0
+        assert _dump(crashed) == _dump(baseline)
+
+    def test_faults_summary_renders(self, faulted_corpus, capsys):
+        assert main(["faults", str(faulted_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "Failure kinds" in out
+        assert "transient" in out
+        assert "Failing operators" in out
+        assert "retry waste" in out
+
+    def test_report_retry_waste_reconciles(self, faulted_corpus, capsys):
+        assert main(["report", str(faulted_corpus)]) == 0
+        out = capsys.readouterr().out
+        (line,) = [x for x in out.splitlines()
+                   if x.startswith("retry waste:")]
+        # "retry waste: T cpu-hours total = U useful + W wasted +
+        #  R retried (...)" — and the partition is exact.
+        numbers = [float(tok) for tok in line.split()
+                   if tok.replace(".", "").isdigit()]
+        total, useful, wasted, retried = numbers[:4]
+        assert retried > 0
+        # Each term prints rounded to 0.1, so the sum can drift by up
+        # to 0.05 per term; the unrounded partition is exact (covered
+        # by analysis-level tests).
+        assert total == pytest.approx(useful + wasted + retried,
+                                      abs=0.2)
+
+    def test_diagnose_renders_failures(self, faulted_corpus, capsys):
+        assert main(["diagnose", str(faulted_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "Failures" in out
+        assert "transient" in out

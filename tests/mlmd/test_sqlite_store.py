@@ -1,4 +1,7 @@
-"""SQLite round-trip tests."""
+"""SQLite round-trip, concurrency, integrity, and salvage tests."""
+
+import sqlite3
+import threading
 
 import pytest
 
@@ -10,9 +13,12 @@ from repro.mlmd import (
     Execution,
     ExecutionState,
     MetadataStore,
+    integrity_check,
     load_store,
+    salvage_store,
     save_store,
 )
+from repro.mlmd.sqlite_store import connect
 
 
 @pytest.fixture()
@@ -88,3 +94,185 @@ class TestRoundTrip:
         save_store(populated_store, path)
         save_store(MetadataStore(), path)
         assert load_store(path).num_artifacts == 0
+
+    def test_retry_of_round_trips(self, tmp_path):
+        store = MetadataStore()
+        first = store.put_execution(Execution(
+            type_name="Trainer", state=ExecutionState.FAILED,
+            properties={"failure_kind": "transient"}))
+        store.put_execution(Execution(
+            type_name="Trainer", state=ExecutionState.COMPLETE,
+            properties={"attempt": 2, "retry_of": first}))
+        path = tmp_path / "trace.db"
+        save_store(store, path)
+        loaded = load_store(path)
+        failed, final = loaded.get_executions("Trainer")
+        assert final.get("retry_of") == failed.id
+
+
+class TestConnectionPragmas:
+    """Satellite (c): every connection gets WAL, busy_timeout, FKs."""
+
+    def test_pragmas_applied(self, tmp_path):
+        conn = connect(tmp_path / "x.db")
+        try:
+            assert conn.execute(
+                "PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert conn.execute(
+                "PRAGMA busy_timeout").fetchone()[0] == 5000
+            assert conn.execute(
+                "PRAGMA foreign_keys").fetchone()[0] == 1
+        finally:
+            conn.close()
+
+    def test_foreign_keys_enforced(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        conn = connect(path)
+        try:
+            with pytest.raises(sqlite3.IntegrityError):
+                conn.execute(
+                    "INSERT INTO events VALUES (9999, 9999, 'input', 0.0)")
+        finally:
+            conn.close()
+
+    def test_concurrent_reader_and_writer(self, populated_store,
+                                          tmp_path):
+        # The regression this guards: rollback-journal connections raise
+        # "database is locked" the moment a reader overlaps a writer.
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        errors = []
+        stop = threading.Event()
+
+        def read_loop():
+            conn = connect(path)
+            try:
+                while not stop.is_set():
+                    conn.execute(
+                        "SELECT COUNT(*) FROM artifacts").fetchone()
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+            finally:
+                conn.close()
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        writer = connect(path)
+        try:
+            for index in range(300):
+                writer.execute(
+                    "INSERT INTO artifacts VALUES (?,?,?,?,?,?,?)",
+                    (1000 + index, "Blob", f"b{index}", "", "live",
+                     0.0, "{}"))
+                writer.commit()
+        except Exception as exc:  # pragma: no cover - the failure
+            errors.append(exc)
+        finally:
+            stop.set()
+            reader.join()
+            writer.close()
+        assert errors == []
+
+    def test_save_is_self_contained(self, populated_store, tmp_path):
+        # The WAL is checkpointed into the main file on save: copying
+        # just the .db (as the shard journal does) loses nothing.
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        wal = tmp_path / "trace.db-wal"
+        assert not wal.exists() or wal.stat().st_size == 0
+
+
+class TestIntegrityCheck:
+    def test_healthy_database(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        report = integrity_check(path)
+        assert report.ok
+        assert report.row_counts["artifacts"] == 2
+        assert report.row_counts["executions"] == 1
+        assert "ok" in report.summary()
+
+    def test_missing_file(self, tmp_path):
+        report = integrity_check(tmp_path / "nope.db")
+        assert not report.ok
+        assert "does not exist" in report.summary()
+
+    def test_truncated_file_reported_not_raised(self, populated_store,
+                                                tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        report = integrity_check(path)
+        assert not report.ok
+        assert report.errors or report.missing_tables
+
+    def test_dangling_edges_detected(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        # Plant a dangling event behind enforcement's back.
+        raw = sqlite3.connect(path)
+        raw.execute("INSERT INTO events VALUES (9999, 9999, 'input', 0.0)")
+        raw.commit()
+        raw.close()
+        report = integrity_check(path)
+        assert not report.ok
+        # One row per violated FK: the planted event breaks both its
+        # artifact and execution references.
+        assert report.dangling.get("events") == 2
+
+
+class TestSalvage:
+    def _damaged_db(self, populated_store, tmp_path):
+        path = tmp_path / "trace.db"
+        save_store(populated_store, path)
+        raw = sqlite3.connect(path)  # FKs off: simulate torn writes
+        raw.execute("DELETE FROM artifacts WHERE type_name = 'Model'")
+        raw.execute("INSERT INTO events VALUES (9999, 9999, 'input', 0.0)")
+        raw.commit()
+        raw.close()
+        return path
+
+    def test_salvage_drops_dangling_keeps_rest(self, populated_store,
+                                               tmp_path):
+        path = self._damaged_db(populated_store, tmp_path)
+        store, report = salvage_store(path)
+        # The Model artifact is gone, so its OUTPUT event and
+        # attribution drop; the planted dangling event drops too.
+        assert report.rows_loaded["artifacts"] == 1
+        assert report.rows_dropped["events"] == 2
+        assert report.rows_dropped["attributions"] == 1
+        assert report.dropped_total == 3
+        # What survived is internally consistent.
+        execution_ids = {e.id for e in store.get_executions()}
+        artifact_ids = {a.id for a in store.get_artifacts()}
+        for event in store.get_events():
+            assert event.execution_id in execution_ids
+            assert event.artifact_id in artifact_ids
+
+    def test_salvage_unopenable_returns_empty(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"not a database at all" * 100)
+        store, report = salvage_store(path)
+        assert store.num_artifacts == 0
+        assert report.errors
+
+    def test_salvage_drops_dangling_retry_of(self, tmp_path):
+        store = MetadataStore()
+        first = store.put_execution(Execution(
+            type_name="Trainer", state=ExecutionState.FAILED))
+        store.put_execution(Execution(
+            type_name="Trainer", state=ExecutionState.COMPLETE,
+            properties={"attempt": 2, "retry_of": first}))
+        path = tmp_path / "trace.db"
+        save_store(store, path)
+        raw = sqlite3.connect(path)
+        raw.execute("DELETE FROM executions WHERE state = 'failed'")
+        raw.commit()
+        raw.close()
+        salvaged, _ = salvage_store(path)
+        survivor = salvaged.get_executions("Trainer")[0]
+        # The chain head is gone; the stale pointer must not survive.
+        assert survivor.get("retry_of") is None
+        assert survivor.get("attempt") == 2

@@ -155,6 +155,30 @@ class TestGating:
                                          model_blessed=False))
         assert "mvalidator" not in report.output_artifact_ids
 
+    def test_unruled_gate_blocks_its_dependents(self, runner_setup,
+                                                rng):
+        # First run ever, and the validator is BLOCKED (its upstream
+        # schema failed): there is no blessing to consume, so the
+        # trainer must not run.
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         fail_nodes={"schema"}))
+        assert report.node_status["validator"] == BLOCKED
+        assert report.node_status["trainer"] == BLOCKED
+
+    def test_gate_falls_back_to_latest_verdict(self, runner_setup, rng):
+        # Once the validator has blessed a run, a later round where it
+        # is BLOCKED falls back to that verdict — TFX consumes the
+        # latest blessing artifact, stale or not.
+        store, runner, schema = runner_setup
+        runner.run(0.0, kind="train", hints=_hints(schema, rng, 0))
+        report = runner.run(24.0, kind="train",
+                            hints=_hints(schema, rng, 1,
+                                         fail_nodes={"schema"}))
+        assert report.node_status["validator"] == BLOCKED
+        assert report.node_status["trainer"] == RAN
+
     def test_throttled_pusher_runs_without_output(self, runner_setup,
                                                   rng):
         store, runner, schema = runner_setup
@@ -176,13 +200,13 @@ class TestFailures:
         assert execution.state is ExecutionState.FAILED
         assert execution.get("cpu_hours") > 0  # failures are not free
 
-    def test_failure_skips_downstream(self, runner_setup, rng):
+    def test_failure_blocks_downstream(self, runner_setup, rng):
         store, runner, schema = runner_setup
         report = runner.run(0.0, kind="train",
                             hints=_hints(schema, rng, 0,
                                          fail_nodes={"trainer"}))
-        assert report.node_status["evaluator"] == SKIPPED
-        assert report.node_status["pusher"] in (SKIPPED, BLOCKED)
+        assert report.node_status["evaluator"] == BLOCKED
+        assert report.node_status["pusher"] == BLOCKED
 
     def test_ingest_failure_starves_first_training(self, runner_setup,
                                                    rng):
@@ -191,7 +215,86 @@ class TestFailures:
                             hints=_hints(schema, rng, 0,
                                          fail_nodes={"gen"}))
         assert report.node_status["gen"] == FAILED
-        assert report.node_status["trainer"] == SKIPPED
+        # Descendants of a failure are BLOCKED, transitively — never
+        # RAN on stale windowed inputs, never merely SKIPPED.
+        assert report.node_status["trainer"] == BLOCKED
+
+    def test_branch_failure_blocks_merge_node_only(self, runner_setup,
+                                                   rng):
+        # Branch topology: stats fans out to schema and validator, and
+        # validator merges stats + schema. Failing schema must block the
+        # merge node while the healthy branch still runs.
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         fail_nodes={"schema"}))
+        assert report.node_status["stats"] == RAN
+        assert report.node_status["schema"] == FAILED
+        assert report.node_status["validator"] == BLOCKED
+        # The gate downstream of the blocked validator blocks too.
+        assert report.node_status["trainer"] == BLOCKED
+
+    def test_root_failure_blocks_transitively(self, runner_setup, rng):
+        store, runner, schema = runner_setup
+        report = runner.run(0.0, kind="train",
+                            hints=_hints(schema, rng, 0,
+                                         fail_nodes={"gen"}))
+        assert report.node_status["gen"] == FAILED
+        for node_id in ("stats", "schema", "validator", "trainer",
+                        "evaluator", "mvalidator", "pusher"):
+            assert report.node_status[node_id] == BLOCKED, node_id
+        # Exactly one execution (the failed root) hit the store.
+        assert store.num_executions == 1
+
+    def test_no_descendant_of_failure_ever_ran(self, runner_setup, rng):
+        # Property over every node of every topology: once any node
+        # FAILED, nothing downstream of it reports RAN this run.
+        store, runner, schema = runner_setup
+        downstream = {
+            "gen": {"stats", "schema", "validator", "trainer",
+                    "evaluator", "mvalidator", "pusher"},
+            "stats": {"schema", "validator", "trainer", "evaluator",
+                      "mvalidator", "pusher"},
+            "trainer": {"evaluator", "mvalidator", "pusher"},
+        }
+        for victim, descendants in downstream.items():
+            run_rng = np.random.default_rng(7)
+            local = PipelineRunner(_pipeline(), MetadataStore(), run_rng,
+                                   simulation=True)
+            report = local.run(0.0, kind="train",
+                               hints=_hints(schema, run_rng, 0,
+                                            fail_nodes={victim}))
+            assert report.node_status[victim] == FAILED
+            for node_id in descendants:
+                assert report.node_status[node_id] == BLOCKED, \
+                    (victim, node_id)
+
+    def test_blocked_beats_cached(self, rng):
+        # A consumer whose producer failed must read BLOCKED even when
+        # the execution cache holds a perfectly good entry for it.
+        from repro.fleet import ExecutionCache
+        cache = ExecutionCache()
+        store = MetadataStore()
+        pipeline = PipelineDef("p", [
+            PipelineNode("gen", ExampleGen(), stage="ingest"),
+            PipelineNode("stats", StatisticsGen(),
+                         inputs={"spans": NodeInput("gen", "span",
+                                                    window=2)}),
+        ])
+        runner = PipelineRunner(pipeline, store, rng, simulation=True,
+                                execution_cache=cache)
+        schema = random_schema(rng, n_features=4)
+        runner.run(0.0, kind="train", hints=_hints(schema, rng, 0))
+        hit_check = runner.run(1.0, kind="retrain",
+                               hints=_hints(schema, rng, 1))
+        assert hit_check.node_status["stats"] == "cached"
+        hits_before = cache.hits
+        report = runner.run(2.0, kind="train",
+                            hints=_hints(schema, rng, 2,
+                                         fail_nodes={"gen"}))
+        assert report.node_status["gen"] == FAILED
+        assert report.node_status["stats"] == BLOCKED
+        assert cache.hits == hits_before  # no lookup ever happened
 
     def test_operator_exception_becomes_failed(self, rng):
         class Exploding(ExampleGen):
