@@ -25,6 +25,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from ..mlmd import MetadataStore, trace_lifespan_days, trace_node_count
+from ..query import as_client
 from ..tfx import artifacts as A
 from ..tfx.cost import OperatorGroup
 from ..tfx.model_types import ModelType, coarse_family
@@ -48,6 +49,7 @@ OPERATOR_GROUPS = {
 
 def pipeline_model_family(store: MetadataStore, context_id: int) -> str:
     """Dominant coarse model family (DNN / Linear / Rest) of a pipeline."""
+    store = as_client(store)
     counts: Counter = Counter()
     for artifact in store.get_artifacts_by_context(context_id):
         if artifact.type_name != A.MODEL:
@@ -67,12 +69,14 @@ def pipeline_model_family(store: MetadataStore, context_id: int) -> str:
 def lifespans(store: MetadataStore,
               context_ids: Iterable[int]) -> list[float]:
     """Per-pipeline lifespan in days (Figure 3(a))."""
+    store = as_client(store)
     return [trace_lifespan_days(store, cid) for cid in context_ids]
 
 
 def models_per_day(store: MetadataStore,
                    context_ids: Iterable[int]) -> list[float]:
     """Average trained models per active day, per pipeline (Figure 3(b))."""
+    store = as_client(store)
     out = []
     for cid in context_ids:
         n_models = sum(
@@ -87,6 +91,7 @@ def lifespan_by_model_type(store: MetadataStore,
                            context_ids: Iterable[int]
                            ) -> dict[str, list[float]]:
     """Lifespans split by coarse model family (Figure 3(d))."""
+    store = as_client(store)
     out: dict[str, list[float]] = defaultdict(list)
     for cid in context_ids:
         out[pipeline_model_family(store, cid)].append(
@@ -98,6 +103,7 @@ def cadence_by_model_type(store: MetadataStore,
                           context_ids: Iterable[int]
                           ) -> dict[str, list[float]]:
     """Models/day split by coarse model family (Figure 3(e))."""
+    store = as_client(store)
     out: dict[str, list[float]] = defaultdict(list)
     for cid in context_ids:
         family = pipeline_model_family(store, cid)
@@ -112,6 +118,7 @@ def cadence_by_model_type(store: MetadataStore,
 def trace_sizes(store: MetadataStore,
                 context_ids: Iterable[int]) -> list[int]:
     """Trace node counts (the paper's max is 6953 nodes)."""
+    store = as_client(store)
     return [trace_node_count(store, cid) for cid in context_ids]
 
 
@@ -124,6 +131,7 @@ def feature_counts(store: MetadataStore,
     Uses the span artifacts' recorded feature counts, taking the
     per-pipeline maximum (spans of one pipeline share a schema).
     """
+    store = as_client(store)
     out = []
     for cid in context_ids:
         counts = [int(a.get("feature_count", 0))
@@ -141,6 +149,7 @@ def feature_profile(store: MetadataStore,
     Returns overall categorical fraction, mean categorical domain size,
     and mean domain size split by coarse model family.
     """
+    store = as_client(store)
     cat_fractions = []
     domain_by_family: dict[str, list[float]] = defaultdict(list)
     domains_all = []
@@ -178,6 +187,7 @@ def analyzer_usage(store: MetadataStore,
     {analyzer: share of total invocations}}``, read from the
     ``analyzer_*`` properties recorded on TransformGraph artifacts.
     """
+    store = as_client(store)
     presence: Counter = Counter()
     usage: Counter = Counter()
     n_pipelines = 0
@@ -210,6 +220,7 @@ def analyzer_usage(store: MetadataStore,
 def model_mix(store: MetadataStore,
               context_ids: Iterable[int]) -> dict[str, float]:
     """Fraction of Trainer runs per model type (Figure 5)."""
+    store = as_client(store)
     counts: Counter = Counter()
     for cid in context_ids:
         for artifact in store.get_artifacts_by_context(cid):
@@ -225,6 +236,7 @@ def model_mix(store: MetadataStore,
 def operator_presence(store: MetadataStore,
                       context_ids: Iterable[int]) -> dict[str, float]:
     """Fraction of pipelines containing each operator group (Figure 6)."""
+    store = as_client(store)
     group_counts: Counter = Counter()
     n_pipelines = 0
     for cid in context_ids:
@@ -251,6 +263,7 @@ def operator_type_presence(store: MetadataStore,
     operators" is about the validator operators specifically, not the
     whole analysis group (statistics generation is near-universal).
     """
+    store = as_client(store)
     type_counts: Counter = Counter()
     n_pipelines = 0
     for cid in context_ids:
@@ -269,6 +282,7 @@ def operator_type_presence(store: MetadataStore,
 def cost_breakdown(store: MetadataStore,
                    context_ids: Iterable[int]) -> dict[str, float]:
     """Share of total compute per operator group (Figure 7)."""
+    store = as_client(store)
     costs: dict[str, float] = defaultdict(float)
     for cid in context_ids:
         for execution in store.get_executions_by_context(cid):
@@ -294,6 +308,7 @@ def cached_execution_stats(store: MetadataStore,
     this aggregate is the fleet-wide roll-up. All zeros on corpora
     generated without the cache.
     """
+    store = as_client(store)
     cached = 0
     total = 0
     saved = 0.0
@@ -318,6 +333,7 @@ def failure_cost(store: MetadataStore,
     Section 3.3: "failures are not cheap" — each failure wastes its own
     cost plus everything its run's upstream already spent.
     """
+    store = as_client(store)
     failed_cost = 0.0
     total_cost = 0.0
     for cid in context_ids:
@@ -351,6 +367,7 @@ def retry_stats(store: MetadataStore,
     corpus with no retries, ``retried`` buckets are zero and ``wasted``
     equals :func:`failure_cost`'s failed compute.
     """
+    store = as_client(store)
     superseded: set[int] = set()
     executions = []
     for cid in context_ids:

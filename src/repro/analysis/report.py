@@ -8,9 +8,10 @@ artifact ids (fig3a, ..., tab2). Examples and benches consume this.
 from __future__ import annotations
 
 from ..corpus.generator import Corpus
-from ..graphlets import Graphlet, segment_pipeline
+from ..graphlets import Graphlet
 from ..obs.metrics import get_registry
 from ..obs.tracing import span
+from ..query import as_client
 from . import graphlet_level, pipeline_level
 from .distributions import DistributionSummary
 
@@ -18,10 +19,11 @@ from .distributions import DistributionSummary
 def segment_production_pipelines(corpus: Corpus
                                  ) -> dict[int, list[Graphlet]]:
     """Graphlets of every production pipeline, keyed by context id."""
+    client = as_client(corpus.store)
     with span("analysis.segment_production_pipelines"), \
             get_registry().timer("analysis.segmentation_seconds"):
         return {
-            cid: segment_pipeline(corpus.store, cid)
+            cid: client.segment_pipeline(cid)
             for cid in corpus.production_context_ids
         }
 
@@ -36,7 +38,9 @@ def full_report(corpus: Corpus,
         graphlets_by_pipeline: Pre-segmented graphlets; segmented on the
             fly when omitted.
     """
-    store = corpus.store
+    # One shared client: every analysis below reads the same
+    # incrementally-maintained indexes instead of re-scanning the store.
+    store = as_client(corpus.store)
     context_ids = corpus.production_context_ids
     if graphlets_by_pipeline is None:
         graphlets_by_pipeline = segment_production_pipelines(corpus)

@@ -227,12 +227,13 @@ def _cmd_waste(args: argparse.Namespace) -> int:
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
     from .mlmd import summarize_by_type
+    from .query import as_client
 
     corpus = _load(args.corpus)
-    store = corpus.store
+    store = as_client(corpus.store)
     context_id = None
     if args.pipeline is not None:
-        matches = [c for c in store.get_contexts("Pipeline")
+        matches = [c for c in store.contexts("Pipeline")
                    if c.name == args.pipeline]
         if not matches:
             print(f"no pipeline named {args.pipeline!r}", file=sys.stderr)
@@ -247,7 +248,10 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 def _resolve_pipeline_context(store, name: str | None):
     """The Context to diagnose: by name, or the costliest production one."""
-    contexts = store.get_contexts("Pipeline")
+    from .query import as_client
+
+    store = as_client(store)
+    contexts = store.contexts("Pipeline")
     if name is not None:
         for context in contexts:
             if context.name == name:
@@ -375,8 +379,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     from .obs.diagnosis import collect_failures
     from .reporting import bar_chart, format_table
 
-    store = load_store(args.corpus)
-    context_ids = [c.id for c in store.get_contexts("Pipeline")]
+    from .query import as_client
+
+    store = as_client(load_store(args.corpus))
+    context_ids = [c.id for c in store.contexts("Pipeline")]
     kinds: Counter = Counter()
     operators: Counter = Counter()
     attempts: Counter = Counter()
@@ -428,6 +434,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     from .obs.diagnosis import (find_regressions, operator_stats,
                                 pipeline_cost_split)
     from .obs.provenance import METRIC_KIND, NODE_KIND, RUN_KIND
+    from .query import as_client
     from .reporting import bar_chart, curve, format_table, histogram
 
     store = load_store(args.corpus)
@@ -440,7 +447,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     metric_rows = store.get_telemetry(kind=METRIC_KIND)
     corpus = Corpus.from_store(store)
     production = corpus.production_context_ids
-    print(f"fleet: {len(store.get_contexts('Pipeline'))} pipelines "
+    print(f"fleet: {len(as_client(store).contexts('Pipeline'))} pipelines "
           f"({len(production)} production), "
           f"{store.num_executions:,} executions, "
           f"{store.num_telemetry:,} telemetry rows "

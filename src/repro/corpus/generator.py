@@ -93,6 +93,12 @@ class Corpus:
             return [r.context_id for r in self.production_records]
         return production_context_ids_from_store(self.store)
 
+    @property
+    def client(self):
+        """The shared :class:`repro.query.MetadataClient` over the store."""
+        from ..query import as_client
+        return as_client(self.store)
+
     @classmethod
     def from_store(cls, store: MetadataStore) -> "Corpus":
         """Wrap a (possibly reloaded) trace store as a corpus."""
@@ -101,11 +107,13 @@ class Corpus:
 
 def production_context_ids_from_store(store: MetadataStore) -> list[int]:
     """The paper's corpus filter applied to a bare trace store."""
+    from ..query import as_client
+    client = as_client(store)
     out = []
-    for context in store.get_contexts("Pipeline"):
+    for context in client.contexts("Pipeline"):
         has_model = False
         has_push = False
-        for artifact in store.get_artifacts_by_context(context.id):
+        for artifact in client.get_artifacts_by_context(context.id):
             if artifact.type_name == "Model":
                 has_model = True
             elif artifact.type_name == "PushedModel":
@@ -250,7 +258,8 @@ def generate_corpus(config: CorpusConfig | None = None,
                     progress_callback: ProgressCallback | None = None,
                     telemetry: bool = False,
                     fault_plan=None,
-                    retry_policy=None) -> Corpus:
+                    retry_policy=None,
+                    store: MetadataStore | None = None) -> Corpus:
     """Generate a full corpus per the configuration.
 
     Deterministic given ``config.seed``. With ``progress=True`` (and no
@@ -268,10 +277,16 @@ def generate_corpus(config: CorpusConfig | None = None,
     seeded operator faults per pipeline; ``retry_policy`` (a
     :class:`repro.faults.RetryPolicy`) lets the runner re-attempt
     failures, persisting every attempt as provenance.
+
+    ``store`` supplies the (empty) destination store; the default is a
+    fresh in-memory store. Passing one lets callers pre-subscribe a
+    :class:`repro.query.MetadataClient` so its indexes are maintained
+    incrementally *during* generation (the query-scaling bench measures
+    that maintenance overhead).
     """
     config = config or CorpusConfig()
     rng = np.random.default_rng(config.seed)
-    store = MetadataStore()
+    store = store if store is not None else MetadataStore()
     sink = None
     if telemetry:
         from ..obs.provenance import attach_sink

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from ..mlmd.abstract import AbstractStore
 from ..mlmd.store import MetadataStore
 from ..mlmd.types import Artifact, Context, Event, Execution, TelemetryRecord
 
@@ -88,7 +89,7 @@ def snapshot_store(store: MetadataStore) -> StoreSnapshot:
         telemetry=store.get_telemetry())
 
 
-def merge_snapshot(dest: MetadataStore,
+def merge_snapshot(dest: AbstractStore,
                    snapshot: StoreSnapshot) -> MergeMaps:
     """Fold one shard snapshot into ``dest``, remapping every id.
 

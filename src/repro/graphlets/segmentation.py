@@ -17,6 +17,12 @@ Given a Trainer execution ``n``, its graphlet comprises:
 The imperative implementation here is the production path;
 :mod:`repro.graphlets.datalog_rules` runs the same queries on the
 Datalog engine and the test-suite checks equivalence.
+
+Entry points accept a raw store or a :class:`~repro.query.MetadataClient`.
+Raw stores are routed through :func:`repro.query.as_client`, so
+:func:`segment_pipeline` / :func:`segment_corpus` always run over the
+client's adjacency indexes and hit its LRU segmentation cache (keyed on
+context id + index version) on repeated calls.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..mlmd import MetadataStore
+from ..mlmd.errors import InvalidQueryError
 from ..obs.metrics import get_registry
 from ..obs.tracing import span
 from .graphlet import DATA_ANALYSIS_TYPES, STOP_TYPES, Graphlet
@@ -92,9 +99,11 @@ def _io_artifacts(store: MetadataStore, execution_ids: set[int],
 def segment_trainer(store: MetadataStore, trainer_id: int,
                     pipeline_context_id: int) -> Graphlet:
     """Extract the graphlet of one Trainer execution."""
+    from ..query import as_client
+    store = as_client(store)
     trainer = store.get_execution(trainer_id)
     if trainer.type_name != "Trainer":
-        raise ValueError(
+        raise InvalidQueryError(
             f"execution {trainer_id} is a {trainer.type_name}, not a Trainer")
     executions = {trainer_id}
     executions |= _ancestor_executions(store, trainer_id)
@@ -132,7 +141,14 @@ def segment_pipeline(store: MetadataStore,
 
     Chronological order is what defines *consecutive graphlets*
     (Section 4.2) for the similarity and cadence analyses.
+
+    Raw stores are routed through the client's LRU-cached segmenter;
+    the computation below runs on cache misses (the client calls back
+    in with itself as ``store``).
     """
+    from ..query import MetadataClient, as_client
+    if not isinstance(store, MetadataClient):
+        return as_client(store).segment_pipeline(pipeline_context_id)
     registry = get_registry()
     with span("graphlets.segment_pipeline",
               context_id=pipeline_context_id), \
@@ -150,10 +166,10 @@ def segment_pipeline(store: MetadataStore,
 
 def segment_corpus(store: MetadataStore) -> dict[int, list[Graphlet]]:
     """Graphlets of every pipeline in the store, keyed by context id."""
-    out: dict[int, list[Graphlet]] = {}
-    for context in store.get_contexts("Pipeline"):
-        out[context.id] = segment_pipeline(store, context.id)
-    return out
+    from ..query import as_client
+    client = as_client(store)
+    return {context.id: client.segment_pipeline(context.id)
+            for context in client.contexts("Pipeline")}
 
 
 def consecutive_pairs(graphlets: list[Graphlet]

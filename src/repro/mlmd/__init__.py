@@ -4,11 +4,20 @@ The paper's corpus is recorded with ML Metadata (MLMD); this subpackage is
 a from-scratch reimplementation of the parts of MLMD the paper relies on:
 artifact/execution/context nodes, input/output events, lineage traversal,
 and durable storage.
+
+Two backends implement the shared :class:`AbstractStore` contract: the
+in-memory :class:`MetadataStore` (the generation hot path) and the live
+:class:`SqliteStore` (reads a serialized corpus in place). Indexed
+reads live in :mod:`repro.query`; the error taxonomy in
+:mod:`repro.mlmd.errors`.
 """
 
+from .abstract import AbstractStore, renamed_kwargs
 from .errors import (
     AlreadyExistsError,
+    IntegrityError,
     InvalidArgumentError,
+    InvalidQueryError,
     MetadataError,
     NotFoundError,
     TypeMismatchError,
@@ -24,6 +33,7 @@ from .lineage import (
 from .sqlite_store import (
     IntegrityReport,
     SalvageReport,
+    SqliteStore,
     integrity_check,
     load_store,
     salvage_store,
@@ -55,6 +65,7 @@ from .types import (
 )
 
 __all__ = [
+    "AbstractStore",
     "AlreadyExistsError",
     "Artifact",
     "ArtifactState",
@@ -63,13 +74,16 @@ __all__ = [
     "EventType",
     "Execution",
     "ExecutionState",
+    "IntegrityError",
     "IntegrityReport",
     "InvalidArgumentError",
+    "InvalidQueryError",
     "MetadataError",
     "MetadataStore",
     "NotFoundError",
     "Properties",
     "SalvageReport",
+    "SqliteStore",
     "TelemetryRecord",
     "TraceNode",
     "TypeSummary",
@@ -87,6 +101,7 @@ __all__ = [
     "salvage_store",
     "provenance_path",
     "reachable",
+    "renamed_kwargs",
     "save_store",
     "summarize_by_type",
     "trace_lifespan_days",

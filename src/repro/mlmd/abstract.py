@@ -1,0 +1,287 @@
+"""The store contract every metadata backend implements.
+
+Historically the in-memory :class:`~repro.mlmd.store.MetadataStore` and
+the sqlite layer grew separate (and slightly divergent) ``put_*`` /
+``get_*`` surfaces. :class:`AbstractStore` is now the single source of
+truth: both backends implement it, :class:`repro.query.MetadataClient`
+is written against it, and the backend-parity test suite runs every
+operation against both implementations on the same corpus.
+
+Three pieces live here:
+
+* :class:`AbstractStore` — the abstract write/read API (node puts, edge
+  puts, node/adjacency/context/telemetry reads, counts) plus default
+  batched reads (``get_artifacts_by_id`` / ``get_executions_by_id``).
+* **Mutation notifications** — ``subscribe``/``unsubscribe`` let a
+  query layer maintain secondary indexes *incrementally* instead of
+  re-scanning the store: each successful write calls every listener
+  with ``(kind, payload, created)``. The hot path pays one truthiness
+  check when nobody is subscribed.
+* :func:`renamed_kwargs` — the deprecation shim for kwarg spellings
+  that diverged between the backends before unification; old names
+  keep working for one release and emit :class:`DeprecationWarning`
+  naming the new spelling.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Sequence
+
+from .types import (
+    Artifact,
+    Context,
+    Event,
+    Execution,
+    TelemetryRecord,
+)
+
+#: Mutation kinds passed to store listeners.
+MUTATION_KINDS = ("artifact", "execution", "context", "event",
+                  "attribution", "association", "telemetry")
+
+#: ``listener(kind, payload, created)`` — ``payload`` is the node /
+#: event dataclass or an id pair, ``created`` is False for updates.
+MutationListener = Callable[[str, object, bool], None]
+
+
+def renamed_kwargs(**renames: str):
+    """Shim decorator: accept deprecated kwarg spellings with a warning.
+
+    ``renames`` maps old name → new name. A call using the old spelling
+    still works, emits a :class:`DeprecationWarning` naming the new
+    spelling, and is rejected if both spellings are supplied::
+
+        @renamed_kwargs(artifact_type="type_name")
+        def get_artifacts(self, type_name=None): ...
+    """
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in renames.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got both {old!r} (deprecated)"
+                            f" and {new!r}")
+                    warnings.warn(
+                        f"{fn.__name__}({old}=...) is deprecated; "
+                        f"use {new}=... (removal in the next release)",
+                        DeprecationWarning, stacklevel=2)
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+class AbstractStore(ABC):
+    """Unified write/read contract of every metadata backend.
+
+    Implementations must call :meth:`_notify` after each successful
+    mutation so subscribed query layers (see
+    :class:`repro.query.IndexSet`) can maintain their indexes
+    incrementally.
+    """
+
+    # ------------------------------------------------------- listeners
+
+    def subscribe(self, listener: MutationListener) -> None:
+        """Register a mutation listener (idempotent)."""
+        listeners = self.__dict__.setdefault("_mutation_listeners", [])
+        if listener not in listeners:
+            listeners.append(listener)
+
+    def unsubscribe(self, listener: MutationListener) -> None:
+        """Remove a mutation listener (no-op when absent)."""
+        listeners = self.__dict__.get("_mutation_listeners")
+        if listeners and listener in listeners:
+            listeners.remove(listener)
+
+    def _notify(self, kind: str, payload: object,
+                created: bool = True) -> None:
+        listeners = self.__dict__.get("_mutation_listeners")
+        if listeners:
+            for listener in listeners:
+                listener(kind, payload, created)
+
+    # ------------------------------------------------------------ puts
+
+    @abstractmethod
+    def put_artifact(self, artifact: Artifact) -> int:
+        """Insert (id == -1) or update an artifact; returns its id."""
+
+    @abstractmethod
+    def put_execution(self, execution: Execution) -> int:
+        """Insert (id == -1) or update an execution; returns its id."""
+
+    @abstractmethod
+    def put_context(self, context: Context) -> int:
+        """Insert (id == -1) or update a context; returns its id."""
+
+    @abstractmethod
+    def put_event(self, event: Event) -> None:
+        """Record an input/output edge between existing nodes."""
+
+    def put_events(self, events: Iterable[Event]) -> None:
+        """Record a batch of events."""
+        for event in events:
+            self.put_event(event)
+
+    @abstractmethod
+    def put_attribution(self, context_id: int, artifact_id: int) -> None:
+        """Associate an artifact with a context."""
+
+    @abstractmethod
+    def put_association(self, context_id: int, execution_id: int) -> None:
+        """Associate an execution with a context."""
+
+    @abstractmethod
+    def put_telemetry(self, record: TelemetryRecord) -> int:
+        """Insert a telemetry record; returns its id."""
+
+    # ------------------------------------------------------ node reads
+
+    @abstractmethod
+    def get_artifact(self, artifact_id: int) -> Artifact:
+        """Return the artifact with the given id (NotFoundError else)."""
+
+    @abstractmethod
+    def get_execution(self, execution_id: int) -> Execution:
+        """Return the execution with the given id (NotFoundError else)."""
+
+    @abstractmethod
+    def get_context(self, context_id: int) -> Context:
+        """Return the context with the given id (NotFoundError else)."""
+
+    @abstractmethod
+    def get_artifacts(self, type_name: str | None = None) -> list[Artifact]:
+        """All artifacts, optionally filtered by type (a scan; prefer
+        :meth:`repro.query.MetadataClient.artifacts` for filtered
+        reads)."""
+
+    @abstractmethod
+    def get_executions(self,
+                       type_name: str | None = None) -> list[Execution]:
+        """All executions, optionally filtered by type (a scan)."""
+
+    @abstractmethod
+    def get_contexts(self, type_name: str | None = None) -> list[Context]:
+        """All contexts, optionally filtered by type (a scan)."""
+
+    @abstractmethod
+    def get_artifact_by_name(self, type_name: str, name: str) -> Artifact:
+        """Look up an artifact by its unique (type, name) pair."""
+
+    @abstractmethod
+    def get_events(self) -> list[Event]:
+        """All events (the raw trace edges) in insertion order."""
+
+    # ----------------------------------------------------- batch reads
+
+    def get_artifacts_by_id(self,
+                            artifact_ids: Sequence[int]) -> list[Artifact]:
+        """Batched :meth:`get_artifact` (one round trip on backends
+        that override it)."""
+        return [self.get_artifact(i) for i in artifact_ids]
+
+    def get_executions_by_id(self, execution_ids: Sequence[int]
+                             ) -> list[Execution]:
+        """Batched :meth:`get_execution`."""
+        return [self.get_execution(i) for i in execution_ids]
+
+    # ------------------------------------------------------- adjacency
+
+    @abstractmethod
+    def get_input_artifact_ids(self, execution_id: int) -> list[int]:
+        """Artifact ids consumed by an execution (event order)."""
+
+    @abstractmethod
+    def get_output_artifact_ids(self, execution_id: int) -> list[int]:
+        """Artifact ids produced by an execution (event order)."""
+
+    def get_input_artifacts(self, execution_id: int) -> list[Artifact]:
+        """Artifacts consumed by an execution."""
+        return self.get_artifacts_by_id(
+            self.get_input_artifact_ids(execution_id))
+
+    def get_output_artifacts(self, execution_id: int) -> list[Artifact]:
+        """Artifacts produced by an execution."""
+        return self.get_artifacts_by_id(
+            self.get_output_artifact_ids(execution_id))
+
+    @abstractmethod
+    def get_consumer_execution_ids(self, artifact_id: int) -> list[int]:
+        """Execution ids that consume an artifact."""
+
+    @abstractmethod
+    def get_producer_execution_ids(self, artifact_id: int) -> list[int]:
+        """Execution ids that produced an artifact."""
+
+    # -------------------------------------------------------- contexts
+
+    @abstractmethod
+    def get_artifacts_by_context(self, context_id: int) -> list[Artifact]:
+        """All artifacts attributed to a context."""
+
+    @abstractmethod
+    def get_executions_by_context(self,
+                                  context_id: int) -> list[Execution]:
+        """All executions associated with a context."""
+
+    @abstractmethod
+    def get_contexts_by_execution(self,
+                                  execution_id: int) -> list[Context]:
+        """Contexts an execution belongs to."""
+
+    @abstractmethod
+    def get_contexts_by_artifact(self, artifact_id: int) -> list[Context]:
+        """Contexts an artifact belongs to."""
+
+    @abstractmethod
+    def get_attributions(self) -> list[tuple[int, int]]:
+        """All (context_id, artifact_id) membership pairs."""
+
+    @abstractmethod
+    def get_associations(self) -> list[tuple[int, int]]:
+        """All (context_id, execution_id) membership pairs."""
+
+    # ------------------------------------------------------- telemetry
+
+    @abstractmethod
+    def get_telemetry(self, kind: str | None = None,
+                      name: str | None = None) -> list[TelemetryRecord]:
+        """All telemetry records, optionally filtered by kind and name."""
+
+    @abstractmethod
+    def get_telemetry_by_execution(self, execution_id: int
+                                   ) -> list[TelemetryRecord]:
+        """Telemetry rows describing one execution (insertion order)."""
+
+    @abstractmethod
+    def get_telemetry_by_context(self, context_id: int
+                                 ) -> list[TelemetryRecord]:
+        """Telemetry rows attached to one context (insertion order)."""
+
+    # ---------------------------------------------------------- counts
+
+    @property
+    @abstractmethod
+    def num_artifacts(self) -> int:
+        """Total artifacts in the store."""
+
+    @property
+    @abstractmethod
+    def num_executions(self) -> int:
+        """Total executions in the store."""
+
+    @property
+    @abstractmethod
+    def num_events(self) -> int:
+        """Total events (trace edges) in the store."""
+
+    @property
+    @abstractmethod
+    def num_telemetry(self) -> int:
+        """Total telemetry records in the store."""

@@ -1,7 +1,34 @@
-"""Exception hierarchy for the metadata store.
+"""Exception taxonomy for the metadata store and query layers.
 
 Mirrors the error taxonomy of ML Metadata (MLMD): callers can catch the
-broad :class:`MetadataError` or a precise subclass.
+broad :class:`MetadataError` or a precise subclass. The taxonomy is the
+*only* error surface of :mod:`repro.mlmd` and :mod:`repro.query` —
+backends never leak bare ``ValueError`` / ``KeyError`` / ``sqlite3``
+exceptions:
+
+=======================  ==================================================
+class                    raised when
+=======================  ==================================================
+:class:`NotFoundError`   a node, edge endpoint, or named lookup target
+                         does not exist in the store
+:class:`AlreadyExists    a named node (unique per kind + type + name) or
+Error`                   registered type is inserted twice
+:class:`InvalidArgument  a request is structurally invalid (bad ids,
+Error`                   events without nodes, malformed bulk loads)
+:class:`IntegrityError`  the backend detects referential or storage-level
+                         corruption (dangling foreign keys, constraint
+                         violations that are neither NotFound nor
+                         AlreadyExists, damaged database files)
+:class:`InvalidQuery     a read/query request is malformed (unknown node
+Error`                   kind, unknown index, out-of-range graphlet,
+                         unsupported filter combination)
+:class:`TypeMismatch     a node's properties do not match its registered
+Error`                   type
+=======================  ==================================================
+
+:class:`InvalidQueryError` also subclasses :class:`ValueError` so that
+pre-taxonomy callers catching ``ValueError`` keep working for one
+release; new code should catch the precise class.
 """
 
 from __future__ import annotations
@@ -21,6 +48,23 @@ class AlreadyExistsError(MetadataError):
 
 class InvalidArgumentError(MetadataError):
     """Raised when a request is structurally invalid (bad ids, bad state)."""
+
+
+class IntegrityError(MetadataError):
+    """Raised when a backend detects referential or storage corruption.
+
+    The sqlite backend maps constraint violations that are not simple
+    not-found / already-exists conditions (and damaged database files
+    encountered outside the salvage path) to this class.
+    """
+
+
+class InvalidQueryError(MetadataError, ValueError):
+    """Raised when a read/query request is malformed.
+
+    Subclasses :class:`ValueError` for one release so existing callers
+    that caught ``ValueError`` from query entry points keep working.
+    """
 
 
 class TypeMismatchError(MetadataError):

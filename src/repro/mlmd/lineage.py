@@ -8,6 +8,11 @@ analysis (Section 3) needs connected components and node counts.
 The trace is a bipartite DAG: artifact and execution nodes, with events as
 edges. We expose traversals in terms of *execution* frontiers (as the
 paper's rules do) while carrying the artifacts along.
+
+Every function accepts either a raw :class:`~repro.mlmd.abstract.\
+AbstractStore` or a :class:`~repro.query.MetadataClient`; raw stores are
+normalized through :func:`repro.query.as_client`, so traversals always
+run over the incrementally-maintained adjacency indexes.
 """
 
 from __future__ import annotations
@@ -15,11 +20,17 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Iterable
 
-from .store import MetadataStore
+from .abstract import AbstractStore
+
+
+def _client(store: "AbstractStore"):
+    # Local import: repro.query imports repro.mlmd.
+    from ..query import as_client
+    return as_client(store)
 
 
 def upstream_executions(
-    store: MetadataStore,
+    store: AbstractStore,
     execution_id: int,
     stop: Callable[[int], bool] | None = None,
 ) -> set[int]:
@@ -30,6 +41,7 @@ def upstream_executions(
     prune traversal *through* an execution: the execution itself is still
     reported, but its ancestors are not explored.
     """
+    store = _client(store)
     seen: set[int] = set()
     frontier = deque([execution_id])
     while frontier:
@@ -46,7 +58,7 @@ def upstream_executions(
 
 
 def downstream_executions(
-    store: MetadataStore,
+    store: AbstractStore,
     execution_id: int,
     stop: Callable[[int], bool] | None = None,
 ) -> set[int]:
@@ -55,6 +67,7 @@ def downstream_executions(
     Mirror image of :func:`upstream_executions`. ``stop`` prunes traversal
     through (but not reporting of) an execution.
     """
+    store = _client(store)
     seen: set[int] = set()
     frontier = deque([execution_id])
     while frontier:
@@ -70,9 +83,10 @@ def downstream_executions(
     return seen
 
 
-def artifacts_of_executions(store: MetadataStore,
+def artifacts_of_executions(store: AbstractStore,
                             execution_ids: Iterable[int]) -> set[int]:
     """Union of input and output artifact ids across the executions."""
+    store = _client(store)
     artifact_ids: set[int] = set()
     for execution_id in execution_ids:
         artifact_ids.update(store.get_input_artifact_ids(execution_id))
@@ -80,13 +94,14 @@ def artifacts_of_executions(store: MetadataStore,
     return artifact_ids
 
 
-def connected_execution_components(store: MetadataStore) -> list[set[int]]:
+def connected_execution_components(store: AbstractStore) -> list[set[int]]:
     """Partition all executions into weakly connected components.
 
     Two executions are connected if they share an artifact (directly or
     transitively). Used to check the paper's observation that long-running
     continuous pipelines often collapse into one giant component.
     """
+    store = _client(store)
     unvisited = {e.id for e in store.get_executions()}
     components: list[set[int]] = []
     while unvisited:
@@ -115,24 +130,26 @@ def connected_execution_components(store: MetadataStore) -> list[set[int]]:
     return components
 
 
-def trace_node_count(store: MetadataStore, context_id: int) -> int:
+def trace_node_count(store: AbstractStore, context_id: int) -> int:
     """Total artifact + execution nodes attributed to a context.
 
     This is the per-pipeline "trace size" statistic reported in
     Sections 2.2 and 3.1 (max 6953 nodes in the paper's corpus).
     """
+    store = _client(store)
     artifacts = store.get_artifacts_by_context(context_id)
     executions = store.get_executions_by_context(context_id)
     return len(artifacts) + len(executions)
 
 
-def trace_lifespan_days(store: MetadataStore, context_id: int) -> float:
+def trace_lifespan_days(store: AbstractStore, context_id: int) -> float:
     """Lifespan of a pipeline trace in days (Section 3.1 definition).
 
     The count of days between the timestamps of the newest and oldest
     nodes in the trace. Artifact timestamps are creation times; execution
     timestamps are start/end times.
     """
+    store = _client(store)
     times: list[float] = []
     for artifact in store.get_artifacts_by_context(context_id):
         times.append(artifact.create_time)

@@ -1,22 +1,33 @@
 """In-memory metadata store.
 
-This is the hot-path backend: the corpus generator writes millions of nodes
-through this API, and every analysis module reads through it. The store
+This is the hot-path backend: the corpus generator writes millions of
+nodes through this API, and every analysis module reads through the
+:class:`repro.query.MetadataClient` facade built on top of it. The store
 keeps adjacency indexes (artifact → consuming/producing executions and
 vice versa) so lineage traversals are O(degree), which is what makes
 graphlet segmentation over large traces feasible.
 
 The public surface intentionally mirrors ML Metadata's
 ``metadata_store.MetadataStore``: ``put_*`` / ``get_*`` methods over
-artifacts, executions, events, and contexts.
+artifacts, executions, events, and contexts — the exact contract is
+:class:`repro.mlmd.abstract.AbstractStore`, which the sqlite backend
+implements too.
+
+Deprecated for one release (still working, warning): type-filtered
+scans (``get_artifacts("Model")`` etc.) — the indexed replacement is
+``MetadataClient.artifacts(type_name=...)`` — and the pre-unification
+kwarg spellings ``artifact_type`` / ``execution_type`` /
+``context_type``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from collections.abc import Iterable, Sequence
 
 from ..obs.metrics import get_registry
+from .abstract import AbstractStore, renamed_kwargs
 from .errors import AlreadyExistsError, InvalidArgumentError, NotFoundError
 from .types import (
     Artifact,
@@ -29,7 +40,16 @@ from .types import (
 )
 
 
-class MetadataStore:
+def _warn_scan(method: str) -> None:
+    warnings.warn(
+        f"type-filtered {method}() scans the whole store; use "
+        f"repro.query.MetadataClient for indexed reads "
+        f"(store-side filtering is removed in the next release)",
+        # caller → renamed_kwargs wrapper → get_* → _warn_scan
+        DeprecationWarning, stacklevel=4)
+
+
+class MetadataStore(AbstractStore):
     """An in-memory MLMD-compatible metadata store.
 
     Example:
@@ -70,6 +90,8 @@ class MetadataStore:
         # Optional provenance-aware sink (set by obs.provenance); the
         # runtime emits into it when present.
         self.telemetry_sink = None
+        # Mutation listeners (repro.query index maintenance).
+        self._mutation_listeners: list = []
         # Name uniqueness per (kind, type_name, name).
         self._named_nodes: dict[tuple[str, str, str], int] = {}
         # Op counters, bound once so the hot path pays one attribute add
@@ -98,7 +120,8 @@ class MetadataStore:
         """Insert or update an artifact; returns its id."""
         self._ops_put_artifact.value += 1
         validate_properties(artifact.properties)
-        if artifact.id == -1:
+        created = artifact.id == -1
+        if created:
             artifact.id = self._next_artifact_id
             self._next_artifact_id += 1
             self._register_name("artifact", artifact.type_name, artifact.name,
@@ -106,13 +129,16 @@ class MetadataStore:
         elif artifact.id not in self._artifacts:
             raise NotFoundError(f"artifact id {artifact.id} not found")
         self._artifacts[artifact.id] = artifact
+        if self._mutation_listeners:
+            self._notify("artifact", artifact, created)
         return artifact.id
 
     def put_execution(self, execution: Execution) -> int:
         """Insert or update an execution; returns its id."""
         self._ops_put_execution.value += 1
         validate_properties(execution.properties)
-        if execution.id == -1:
+        created = execution.id == -1
+        if created:
             execution.id = self._next_execution_id
             self._next_execution_id += 1
             self._register_name("execution", execution.type_name,
@@ -120,13 +146,16 @@ class MetadataStore:
         elif execution.id not in self._executions:
             raise NotFoundError(f"execution id {execution.id} not found")
         self._executions[execution.id] = execution
+        if self._mutation_listeners:
+            self._notify("execution", execution, created)
         return execution.id
 
     def put_context(self, context: Context) -> int:
         """Insert or update a context; returns its id."""
         self._ops_put_context.value += 1
         validate_properties(context.properties)
-        if context.id == -1:
+        created = context.id == -1
+        if created:
             context.id = self._next_context_id
             self._next_context_id += 1
             self._register_name("context", context.type_name, context.name,
@@ -134,6 +163,8 @@ class MetadataStore:
         elif context.id not in self._contexts:
             raise NotFoundError(f"context id {context.id} not found")
         self._contexts[context.id] = context
+        if self._mutation_listeners:
+            self._notify("context", context, created)
         return context.id
 
     def put_event(self, event: Event) -> None:
@@ -150,6 +181,8 @@ class MetadataStore:
         else:
             self._outputs_of[event.execution_id].append(event.artifact_id)
             self._producers_of[event.artifact_id].append(event.execution_id)
+        if self._mutation_listeners:
+            self._notify("event", event)
 
     def put_events(self, events: Iterable[Event]) -> None:
         """Record a batch of events."""
@@ -164,6 +197,8 @@ class MetadataStore:
             raise NotFoundError(f"artifact id {artifact_id} not found")
         self._context_artifacts[context_id].append(artifact_id)
         self._artifact_contexts[artifact_id].append(context_id)
+        if self._mutation_listeners:
+            self._notify("attribution", (context_id, artifact_id))
 
     def put_association(self, context_id: int, execution_id: int) -> None:
         """Associate an execution with a context."""
@@ -173,6 +208,8 @@ class MetadataStore:
             raise NotFoundError(f"execution id {execution_id} not found")
         self._context_executions[context_id].append(execution_id)
         self._execution_contexts[execution_id].append(context_id)
+        if self._mutation_listeners:
+            self._notify("association", (context_id, execution_id))
 
     def put_telemetry(self, record: TelemetryRecord) -> int:
         """Insert a telemetry record; returns its id.
@@ -204,6 +241,8 @@ class MetadataStore:
             if record.context_id is not None:
                 self._telemetry_of_context[record.context_id].append(
                     record.id)
+        if self._mutation_listeners:
+            self._notify("telemetry", record, fresh)
         return record.id
 
     # ------------------------------------------------------------------ get
@@ -229,23 +268,29 @@ class MetadataStore:
         """Return the context with the given id."""
         return self._require_context(context_id)
 
+    @renamed_kwargs(artifact_type="type_name")
     def get_artifacts(self, type_name: str | None = None) -> list[Artifact]:
-        """Return all artifacts, optionally filtered by type."""
+        """All artifacts; the type filter (deprecated) is an O(N) scan."""
         if type_name is None:
             return list(self._artifacts.values())
+        _warn_scan("get_artifacts")
         return [a for a in self._artifacts.values() if a.type_name == type_name]
 
+    @renamed_kwargs(execution_type="type_name")
     def get_executions(self, type_name: str | None = None) -> list[Execution]:
-        """Return all executions, optionally filtered by type."""
+        """All executions; the type filter (deprecated) is an O(N) scan."""
         if type_name is None:
             return list(self._executions.values())
+        _warn_scan("get_executions")
         return [e for e in self._executions.values()
                 if e.type_name == type_name]
 
+    @renamed_kwargs(context_type="type_name")
     def get_contexts(self, type_name: str | None = None) -> list[Context]:
-        """Return all contexts, optionally filtered by type."""
+        """All contexts; the type filter (deprecated) is an O(N) scan."""
         if type_name is None:
             return list(self._contexts.values())
+        _warn_scan("get_contexts")
         return [c for c in self._contexts.values() if c.type_name == type_name]
 
     def get_artifact_by_name(self, type_name: str, name: str) -> Artifact:
@@ -258,6 +303,28 @@ class MetadataStore:
     def get_events(self) -> list[Event]:
         """Return all events (the raw trace edges)."""
         return list(self._events)
+
+    # ----------------------------------------------------- batch reads
+
+    def get_artifacts_by_id(self,
+                            artifact_ids: Sequence[int]) -> list[Artifact]:
+        """Batched get_artifact (one dict hit per id)."""
+        self._ops_get_node.value += 1
+        try:
+            return [self._artifacts[i] for i in artifact_ids]
+        except KeyError as exc:
+            raise NotFoundError(f"artifact id {exc.args[0]} not found") \
+                from None
+
+    def get_executions_by_id(self, execution_ids: Sequence[int]
+                             ) -> list[Execution]:
+        """Batched get_execution (one dict hit per id)."""
+        self._ops_get_node.value += 1
+        try:
+            return [self._executions[i] for i in execution_ids]
+        except KeyError as exc:
+            raise NotFoundError(f"execution id {exc.args[0]} not found") \
+                from None
 
     # ---------------------------------------------------------- telemetry
 
@@ -340,6 +407,18 @@ class MetadataStore:
         return [self._contexts[i]
                 for i in self._artifact_contexts.get(artifact_id, ())]
 
+    def get_attributions(self) -> list[tuple[int, int]]:
+        """All (context_id, artifact_id) pairs, grouped by context."""
+        return [(context_id, artifact_id)
+                for context_id, members in self._context_artifacts.items()
+                for artifact_id in members]
+
+    def get_associations(self) -> list[tuple[int, int]]:
+        """All (context_id, execution_id) pairs, grouped by context."""
+        return [(context_id, execution_id)
+                for context_id, members in self._context_executions.items()
+                for execution_id in members]
+
     # ------------------------------------------------------------- counts
 
     @property
@@ -380,14 +459,15 @@ class MetadataStore:
             raise NotFoundError(f"context id {context_id} not found") from None
 
 
-def bulk_load(store: MetadataStore, artifacts: Sequence[Artifact],
+def bulk_load(store: AbstractStore, artifacts: Sequence[Artifact],
               executions: Sequence[Execution],
               events: Sequence[Event]) -> None:
     """Load a pre-built trace into a store in one call.
 
     Convenience for tests and for replaying serialized traces; ids in the
     events must refer to ids assigned by the puts, so artifacts and
-    executions are inserted first, in order.
+    executions are inserted first, in order. Works against any
+    :class:`~repro.mlmd.abstract.AbstractStore` backend.
     """
     if not artifacts and not executions and events:
         raise InvalidArgumentError("events supplied without nodes")

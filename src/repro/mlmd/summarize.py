@@ -11,6 +11,12 @@ related work cites:
 * **Reachability queries** (Bao et al., SIGMOD 2010 motivation): does
   artifact/execution X transitively feed Y? Plus shortest provenance
   paths for debugging ("how did this pushed model depend on that span?").
+
+All entry points accept a raw store or a
+:class:`~repro.query.MetadataClient`; raw stores are normalized through
+:func:`repro.query.as_client`, so per-section re-summarization (the CLI
+renders several sections off one store) reuses one set of cached
+indexes instead of re-scanning.
 """
 
 from __future__ import annotations
@@ -18,7 +24,14 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
+from .errors import InvalidQueryError
 from .store import MetadataStore
+
+
+def _client(store: "MetadataStore"):
+    # Local import: repro.query imports repro.mlmd.
+    from ..query import as_client
+    return as_client(store)
 
 
 @dataclass
@@ -73,6 +86,7 @@ class TypeSummary:
 def summarize_by_type(store: MetadataStore,
                       context_id: int | None = None) -> TypeSummary:
     """Aggregate a trace (or one pipeline's trace) by node type."""
+    store = _client(store)
     if context_id is None:
         artifacts = store.get_artifacts()
         executions = store.get_executions()
@@ -111,7 +125,7 @@ class TraceNode:
 
     def __post_init__(self) -> None:
         if self.kind not in ("artifact", "execution"):
-            raise ValueError(f"unknown node kind {self.kind!r}")
+            raise InvalidQueryError(f"unknown node kind {self.kind!r}")
 
 
 def artifact_node(artifact_id: int) -> TraceNode:
@@ -135,7 +149,7 @@ def _successors(store: MetadataStore, node: TraceNode) -> list[TraceNode]:
 def reachable(store: MetadataStore, source: TraceNode,
               target: TraceNode) -> bool:
     """True if ``target`` is downstream of ``source`` in the trace DAG."""
-    return provenance_path(store, source, target) is not None
+    return provenance_path(_client(store), source, target) is not None
 
 
 def provenance_path(store: MetadataStore, source: TraceNode,
@@ -146,6 +160,7 @@ def provenance_path(store: MetadataStore, source: TraceNode,
     questions like "through which operators did span 17 influence the
     pushed model?".
     """
+    store = _client(store)
     if source == target:
         return [source]
     parents: dict[TraceNode, TraceNode] = {source: source}
@@ -172,6 +187,7 @@ def impact_set(store: MetadataStore, source: TraceNode,
     The "blast radius" query: which models/pushes would be affected if
     this span turned out to be corrupt?
     """
+    store = _client(store)
     seen: set[TraceNode] = {source}
     artifacts: set[int] = set()
     frontier = deque([source])

@@ -32,6 +32,7 @@ import numpy as np
 from ..graphlets.graphlet import Graphlet
 from ..mlmd.store import MetadataStore
 from ..mlmd.types import Execution
+from ..query import as_client
 from ..waste.dataset import pipeline_uses_warmstart
 from .provenance import NODE_KIND
 
@@ -63,6 +64,7 @@ def execution_dag(store: MetadataStore, execution_ids: set[int]
     An edge p → c exists when any artifact produced by p is consumed
     by c; both endpoints must be in ``execution_ids``.
     """
+    store = as_client(store)
     successors: dict[int, list[int]] = {e: [] for e in execution_ids}
     for producer in execution_ids:
         seen: set[int] = set()
@@ -147,9 +149,8 @@ def critical_path(graphlet: Graphlet) -> CriticalPath:
 def top_cost_sinks(store: MetadataStore, execution_ids,
                    k: int = 5) -> list[tuple[Execution, float]]:
     """The k most expensive executions, by recorded cpu_hours."""
-    rows = [(store.get_execution(e),
-             float(store.get_execution(e).get("cpu_hours", 0.0)))
-            for e in execution_ids]
+    executions = as_client(store).get_many("execution", list(execution_ids))
+    rows = [(e, float(e.get("cpu_hours", 0.0))) for e in executions]
     rows.sort(key=lambda pair: (-pair[1], pair[0].id))
     return rows[:k]
 
@@ -201,6 +202,7 @@ def pipeline_cost_split(store: MetadataStore, context_id: int,
     Executions in no graphlet (e.g. ingest runs after the last trainer)
     are unattributed.
     """
+    store = as_client(store)
     pushed_members: set[int] = set()
     unpushed_members: set[int] = set()
     for graphlet in graphlets:
@@ -245,6 +247,7 @@ def _node_values(store: MetadataStore, metric: str
     ``metric`` is ``"wall_seconds"`` (the record's value) or a numeric
     property name such as ``"cpu_hours"``.
     """
+    store = as_client(store)
     out: dict[str, list[float]] = defaultdict(list)
     for record in store.get_telemetry(kind=NODE_KIND):
         if metric == "wall_seconds":
@@ -357,6 +360,7 @@ class FailureRecord:
 def collect_failures(store: MetadataStore, context_id: int
                      ) -> list[FailureRecord]:
     """Every FAILED execution of a pipeline, with failure provenance."""
+    store = as_client(store)
     out: list[FailureRecord] = []
     for execution in store.get_executions_by_context(context_id):
         if execution.state.value != "failed":
@@ -417,10 +421,9 @@ def diagnose_pipeline(store: MetadataStore, context_id: int,
             (default: the most expensive one).
         top_k: Cost sinks to report.
     """
-    from ..graphlets.segmentation import segment_pipeline
-
+    store = as_client(store)
     if graphlets is None:
-        graphlets = segment_pipeline(store, context_id)
+        graphlets = store.segment_pipeline(context_id)
     context = store.get_context(context_id)
     executions = store.get_executions_by_context(context_id)
     summaries = [

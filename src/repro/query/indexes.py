@@ -1,0 +1,228 @@
+"""Incrementally-maintained secondary indexes over a metadata store.
+
+An :class:`IndexSet` is the data structure behind
+:class:`~repro.query.client.MetadataClient`: node maps, adjacency maps
+(artifact ↔ execution via events), type/state/context secondary
+indexes, a name index, and telemetry join maps — built once with a
+full scan (:meth:`IndexSet.build`) and then kept current by the store's
+mutation-listener protocol (:meth:`IndexSet.apply` subscribes via
+:meth:`repro.mlmd.abstract.AbstractStore.subscribe`).
+
+Two details make incremental maintenance correct here:
+
+* The in-memory backend mutates node objects *in place* and re-puts
+  them (the runtime flips an execution's state from RUNNING to COMPLETE
+  on the same object), so an update notification cannot diff "old
+  object vs new object" — they are the same object. The index instead
+  remembers the last (type_name, state) it filed each node under
+  (``_artifact_keys`` / ``_execution_keys``) and moves the id between
+  buckets when that key changes.
+* Secondary buckets are ``dict[int, None]`` used as ordered sets:
+  O(1) membership moves while preserving insertion order, so indexed
+  reads return nodes in the same order a store scan would.
+
+``version`` increments on every applied mutation; readers that cache
+derived results (the client's LRU-cached graphlet segmenter) key their
+caches on it, so a write anywhere invalidates exactly by staleness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from ..mlmd.errors import NotFoundError
+from ..mlmd.types import (
+    Artifact,
+    Context,
+    Event,
+    EventType,
+    Execution,
+    TelemetryRecord,
+)
+
+if TYPE_CHECKING:
+    from ..mlmd.abstract import AbstractStore
+
+
+class IndexSet:
+    """All secondary indexes over one store, maintained incrementally."""
+
+    def __init__(self) -> None:
+        #: Monotonic mutation counter; cache keys include it.
+        self.version = 0
+        # Node maps.
+        self.artifacts: dict[int, Artifact] = {}
+        self.executions: dict[int, Execution] = {}
+        self.contexts: dict[int, Context] = {}
+        self.events: list[Event] = []
+        # Adjacency (event edges).
+        self.inputs_of: dict[int, list[int]] = defaultdict(list)
+        self.outputs_of: dict[int, list[int]] = defaultdict(list)
+        self.consumers_of: dict[int, list[int]] = defaultdict(list)
+        self.producers_of: dict[int, list[int]] = defaultdict(list)
+        # Type / state secondary indexes (dict-as-ordered-set buckets).
+        self.artifacts_by_type: dict[str, dict[int, None]] = defaultdict(dict)
+        self.artifacts_by_state: dict[str, dict[int, None]] = \
+            defaultdict(dict)
+        self.executions_by_type: dict[str, dict[int, None]] = \
+            defaultdict(dict)
+        self.executions_by_state: dict[str, dict[int, None]] = \
+            defaultdict(dict)
+        self.contexts_by_type: dict[str, dict[int, None]] = defaultdict(dict)
+        # Last-indexed (type_name, state) per node — see module docstring.
+        self._artifact_keys: dict[int, tuple[str, str]] = {}
+        self._execution_keys: dict[int, tuple[str, str]] = {}
+        # Name index: (kind, type_name, name) -> id.
+        self.named: dict[tuple[str, str, str], int] = {}
+        # Context membership.
+        self.artifacts_in_context: dict[int, list[int]] = defaultdict(list)
+        self.executions_in_context: dict[int, list[int]] = defaultdict(list)
+        self.contexts_of_artifact: dict[int, list[int]] = defaultdict(list)
+        self.contexts_of_execution: dict[int, list[int]] = defaultdict(list)
+        # Telemetry joins.
+        self.telemetry: dict[int, TelemetryRecord] = {}
+        self.telemetry_of_execution: dict[int, list[int]] = defaultdict(list)
+        self.telemetry_of_context: dict[int, list[int]] = defaultdict(list)
+
+    # ------------------------------------------------------------ build
+
+    def build(self, store: AbstractStore) -> None:
+        """(Re)build every index from a full store scan.
+
+        ``version`` keeps counting across rebuilds so stale cache keys
+        from before the rebuild can never collide with fresh ones.
+        """
+        old_version = self.version
+        self.__init__()
+        self.version = old_version
+        for artifact in store.get_artifacts():
+            self._index_artifact(artifact, created=True)
+        for execution in store.get_executions():
+            self._index_execution(execution, created=True)
+        for context in store.get_contexts():
+            self._index_context(context, created=True)
+        for event in store.get_events():
+            self._index_event(event)
+        for context_id, artifact_id in store.get_attributions():
+            self._index_attribution(context_id, artifact_id)
+        for context_id, execution_id in store.get_associations():
+            self._index_association(context_id, execution_id)
+        for record in store.get_telemetry():
+            self._index_telemetry(record, created=True)
+        self.version += 1
+
+    # --------------------------------------------------------- listener
+
+    def apply(self, kind: str, payload: object, created: bool = True) -> None:
+        """Mutation listener: route one store write into the indexes."""
+        if kind == "artifact":
+            self._index_artifact(payload, created)
+        elif kind == "execution":
+            self._index_execution(payload, created)
+        elif kind == "context":
+            self._index_context(payload, created)
+        elif kind == "event":
+            self._index_event(payload)
+        elif kind == "attribution":
+            self._index_attribution(*payload)
+        elif kind == "association":
+            self._index_association(*payload)
+        elif kind == "telemetry":
+            self._index_telemetry(payload, created)
+        self.version += 1
+
+    # ---------------------------------------------------------- helpers
+
+    def _index_artifact(self, artifact: Artifact, created: bool) -> None:
+        self.artifacts[artifact.id] = artifact
+        key = (artifact.type_name, artifact.state.value)
+        old = self._artifact_keys.get(artifact.id)
+        if old == key:
+            return
+        if old is not None:
+            self.artifacts_by_type[old[0]].pop(artifact.id, None)
+            self.artifacts_by_state[old[1]].pop(artifact.id, None)
+        self._artifact_keys[artifact.id] = key
+        self.artifacts_by_type[key[0]][artifact.id] = None
+        self.artifacts_by_state[key[1]][artifact.id] = None
+        if created and artifact.name:
+            self.named[("artifact", artifact.type_name, artifact.name)] = \
+                artifact.id
+
+    def _index_execution(self, execution: Execution, created: bool) -> None:
+        self.executions[execution.id] = execution
+        key = (execution.type_name, execution.state.value)
+        old = self._execution_keys.get(execution.id)
+        if old == key:
+            return
+        if old is not None:
+            self.executions_by_type[old[0]].pop(execution.id, None)
+            self.executions_by_state[old[1]].pop(execution.id, None)
+        self._execution_keys[execution.id] = key
+        self.executions_by_type[key[0]][execution.id] = None
+        self.executions_by_state[key[1]][execution.id] = None
+        if created and execution.name:
+            self.named[("execution", execution.type_name, execution.name)] \
+                = execution.id
+
+    def _index_context(self, context: Context, created: bool) -> None:
+        self.contexts[context.id] = context
+        self.contexts_by_type[context.type_name][context.id] = None
+        if created and context.name:
+            self.named[("context", context.type_name, context.name)] = \
+                context.id
+
+    def _index_event(self, event: Event) -> None:
+        self.events.append(event)
+        if event.type is EventType.INPUT:
+            self.inputs_of[event.execution_id].append(event.artifact_id)
+            self.consumers_of[event.artifact_id].append(event.execution_id)
+        else:
+            self.outputs_of[event.execution_id].append(event.artifact_id)
+            self.producers_of[event.artifact_id].append(event.execution_id)
+
+    def _index_attribution(self, context_id: int, artifact_id: int) -> None:
+        self.artifacts_in_context[context_id].append(artifact_id)
+        self.contexts_of_artifact[artifact_id].append(context_id)
+
+    def _index_association(self, context_id: int, execution_id: int) -> None:
+        self.executions_in_context[context_id].append(execution_id)
+        self.contexts_of_execution[execution_id].append(context_id)
+
+    def _index_telemetry(self, record: TelemetryRecord,
+                         created: bool) -> None:
+        self.telemetry[record.id] = record
+        if created:
+            if record.execution_id is not None:
+                self.telemetry_of_execution[record.execution_id].append(
+                    record.id)
+            if record.context_id is not None:
+                self.telemetry_of_context[record.context_id].append(
+                    record.id)
+
+    # ------------------------------------------------------ typed reads
+
+    def artifact(self, artifact_id: int) -> Artifact:
+        """Point lookup; NotFoundError when absent."""
+        try:
+            return self.artifacts[artifact_id]
+        except KeyError:
+            raise NotFoundError(f"artifact id {artifact_id} not found") \
+                from None
+
+    def execution(self, execution_id: int) -> Execution:
+        """Point lookup; NotFoundError when absent."""
+        try:
+            return self.executions[execution_id]
+        except KeyError:
+            raise NotFoundError(f"execution id {execution_id} not found") \
+                from None
+
+    def context(self, context_id: int) -> Context:
+        """Point lookup; NotFoundError when absent."""
+        try:
+            return self.contexts[context_id]
+        except KeyError:
+            raise NotFoundError(f"context id {context_id} not found") \
+                from None

@@ -11,6 +11,7 @@ should go through :func:`repro.mlmd.summarize_by_type` instead.
 from __future__ import annotations
 
 from ..mlmd import ExecutionState, MetadataStore
+from ..query import as_client
 
 
 def _artifact_label(store: MetadataStore, artifact_id: int) -> str:
@@ -36,6 +37,7 @@ def render_trace(store: MetadataStore, context_id: int | None = None,
             store).
         max_nodes: Truncate after this many executions (with a marker).
     """
+    store = as_client(store)
     if context_id is None:
         executions = store.get_executions()
     else:
@@ -67,7 +69,7 @@ def render_trace(store: MetadataStore, context_id: int | None = None,
 
 def render_graphlet(graphlet) -> str:
     """Render one model graphlet's executions (Figure 8's view)."""
-    store = graphlet.store
+    store = as_client(graphlet.store)
     lines = [f"graphlet around Trainer[{graphlet.trainer_execution_id}] "
              f"({'pushed' if graphlet.pushed else 'unpushed'}, "
              f"{graphlet.total_cpu_hours:.1f} CPU-h)"]

@@ -129,13 +129,13 @@ def _stage_costs(graphlet: Graphlet,
                  seen_executions: set[int]) -> dict[str, float]:
     """Stage costs of a graphlet's not-yet-counted executions."""
     from ..graphlets.features import stage_of_group
+    from ..query import as_client
 
+    client = as_client(graphlet.store)
+    fresh = [e for e in graphlet.execution_ids if e not in seen_executions]
+    seen_executions.update(fresh)
     out: dict[str, float] = {}
-    for execution_id in graphlet.execution_ids:
-        if execution_id in seen_executions:
-            continue
-        seen_executions.add(execution_id)
-        execution = graphlet.store.get_execution(execution_id)
+    for execution in client.get_many("execution", fresh):
         group = str(execution.get("group", "custom"))
         stage = stage_of_group(group)
         cost = float(execution.get("cpu_hours", 0.0))

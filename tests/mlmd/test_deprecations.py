@@ -1,0 +1,70 @@
+"""Deprecated store entry points: still working, loudly warning.
+
+The one-release compatibility window (DESIGN 6.x): store-side
+type-filtered scans and the old ``*_type=`` keyword spellings keep
+returning correct results but emit ``DeprecationWarning`` naming the
+replacement. Removal is the next release; these tests pin the window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mlmd import MetadataStore, SqliteStore
+from repro.mlmd.types import Artifact, Context, Execution
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MetadataStore()
+        return
+    backend = SqliteStore(tmp_path / "store.db")
+    yield backend
+    backend.close()
+
+
+@pytest.fixture()
+def populated(store):
+    store.put_artifact(Artifact(type_name="Model"))
+    store.put_artifact(Artifact(type_name="DataSpan"))
+    store.put_execution(Execution(type_name="Trainer"))
+    store.put_context(Context(type_name="Pipeline", name="p-0"))
+    return store
+
+
+def test_type_filtered_scans_warn_but_work(populated):
+    with pytest.warns(DeprecationWarning, match="MetadataClient"):
+        artifacts = populated.get_artifacts("Model")
+    assert [a.type_name for a in artifacts] == ["Model"]
+    with pytest.warns(DeprecationWarning, match="MetadataClient"):
+        executions = populated.get_executions("Trainer")
+    assert [e.type_name for e in executions] == ["Trainer"]
+    with pytest.warns(DeprecationWarning, match="MetadataClient"):
+        contexts = populated.get_contexts("Pipeline")
+    assert [c.name for c in contexts] == ["p-0"]
+
+
+def test_unfiltered_scans_do_not_warn(populated, recwarn):
+    assert len(populated.get_artifacts()) == 2
+    assert len(populated.get_executions()) == 1
+    assert len(populated.get_contexts()) == 1
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_old_kwarg_spellings_warn_with_replacement(populated):
+    with pytest.warns(DeprecationWarning, match="type_name"):
+        artifacts = populated.get_artifacts(artifact_type="Model")
+    assert [a.type_name for a in artifacts] == ["Model"]
+    with pytest.warns(DeprecationWarning, match="type_name"):
+        executions = populated.get_executions(execution_type="Trainer")
+    assert [e.type_name for e in executions] == ["Trainer"]
+    with pytest.warns(DeprecationWarning, match="type_name"):
+        contexts = populated.get_contexts(context_type="Pipeline")
+    assert [c.name for c in contexts] == ["p-0"]
+
+
+def test_both_spellings_is_an_error(populated):
+    with pytest.raises(TypeError, match="both"):
+        populated.get_artifacts(type_name="Model", artifact_type="Model")
