@@ -3,8 +3,10 @@
 The corpus scale is controlled by ``REPRO_BENCH_PIPELINES`` (default 150
 — a few thousand graphlets, minutes of CPU). Results print to stdout
 (visible with ``-s`` / in failure reports) and are appended to
-``benchmarks/results/latest.txt`` so the experiment record survives
-pytest's output capture.
+``benchmarks/results/artifacts/latest.txt`` so the experiment record
+survives pytest's output capture. Only the machine-readable
+``BENCH_*.json`` summaries are checked in; everything else under
+``results/`` is scratch (gitignored).
 """
 
 from __future__ import annotations
@@ -27,20 +29,21 @@ from repro.waste import (
     train_all_variants,
 )
 
-RESULTS_PATH = Path(__file__).parent / "results" / "latest.txt"
+RESULTS_PATH = (Path(__file__).parent / "results" / "artifacts"
+                / "latest.txt")
 
 
 def emit(text: str) -> None:
     """Print a result block and append it to the results file."""
     print(text)
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     with RESULTS_PATH.open("a") as handle:
         handle.write(text + "\n\n")
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_results_file():
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text("")
 
 

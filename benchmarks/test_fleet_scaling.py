@@ -95,7 +95,8 @@ def test_fleet_scaling_report(fleet_config, sequential_run, parallel_run,
         if par_report.wall_seconds else 0.0
     cached_stats = pipeline_level.cached_execution_stats(
         cache_corpus.store,
-        [c.id for c in cache_corpus.store.get_contexts("Pipeline")])
+        [c.id for c in cache_corpus.store.get_contexts()
+         if c.type_name == "Pipeline"])
 
     cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
         else (os.cpu_count() or 1)

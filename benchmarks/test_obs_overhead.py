@@ -20,6 +20,7 @@ import json
 import time
 
 from repro.corpus import CorpusConfig, generate_corpus
+from repro.fleet import generate_corpus_fleet
 from repro.obs import (
     MetricsRegistry,
     NullTracer,
@@ -101,3 +102,61 @@ def test_instrumentation_overhead(tmp_path):
         + ABS_EPSILON, (
         f"instrumented path {instrumented_seconds:.3f}s vs no-op "
         f"{noop_seconds:.3f}s exceeds the {MAX_OVERHEAD:.2f}x gate")
+
+
+def _one_fleet_generation_seconds() -> float:
+    start = time.perf_counter()
+    generate_corpus_fleet(_bench_config(), workers=2, in_process=True)
+    return time.perf_counter() - start
+
+
+def test_fleet_instrumentation_overhead():
+    """The distributed-tracing machinery obeys the same ≤5% gate.
+
+    The fleet path adds the cross-process pieces on top of the runner's
+    counters: per-shard span trees, instrument state snapshots, span
+    adoption (id remap + clock rebase), and registry folding at merge.
+    Two in-process workers exercise all of it without pool startup
+    noise polluting a percent-level comparison.
+    """
+    generate_corpus_fleet(CorpusConfig(n_pipelines=2, seed=1,
+                                       max_graphlets_per_pipeline=4),
+                          workers=2, in_process=True)
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    noop_seconds = float("inf")
+    instrumented_seconds = float("inf")
+    try:
+        for _ in range(REPEATS):
+            set_registry(MetricsRegistry())
+            set_tracer(NullTracer())
+            noop_seconds = min(noop_seconds,
+                               _one_fleet_generation_seconds())
+
+            set_registry(registry)
+            set_tracer(tracer)
+            instrumented_seconds = min(
+                instrumented_seconds, _one_fleet_generation_seconds())
+    finally:
+        set_tracer(NullTracer())
+        set_registry(MetricsRegistry())
+
+    n_spans = len(tracer.finished_spans())
+    adopted = sum(1 for s in tracer.finished_spans()
+                  if s.attrs.get("worker"))
+    overhead = instrumented_seconds / noop_seconds
+    emit("obs overhead — fleet generation (20 pipelines, 2 in-process "
+         f"workers, best of {REPEATS}, interleaved)\n"
+         f"  no-op tracer     : {noop_seconds:8.3f} s\n"
+         f"  tracer + metrics : {instrumented_seconds:8.3f} s "
+         f"({n_spans} spans, {adopted} adopted from workers)\n"
+         f"  overhead         : {overhead:8.3f}x "
+         f"(gate {MAX_OVERHEAD:.2f}x)")
+
+    assert adopted > 0, "no worker spans were adopted"
+    assert instrumented_seconds <= noop_seconds * MAX_OVERHEAD \
+        + ABS_EPSILON, (
+        f"instrumented fleet path {instrumented_seconds:.3f}s vs "
+        f"no-op {noop_seconds:.3f}s exceeds the "
+        f"{MAX_OVERHEAD:.2f}x gate")

@@ -15,7 +15,11 @@ Commands:
 * ``dashboard`` — fleet-level report from persisted telemetry: operator
   duration distributions, graphlet cost CDF, waste share, regressions.
 * ``telemetry`` — render a telemetry JSONL file produced by
-  ``--metrics-out`` / ``--trace-out``.
+  ``--metrics-out`` / ``--trace-out`` (``--timeline`` draws the causal
+  span tree instead of aggregates).
+* ``fleet-status`` — live (or post-mortem) status of a fleet run from
+  its shard journal: per-shard progress bars, throughput, ETA, stall
+  detection, and which shards a ``--resume`` would re-run.
 
 Every command works on a corpus database produced by ``generate``, so a
 full study is::
@@ -107,6 +111,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
               + ("" if fleet.used_processes
                  or fleet.workers - fleet.resumed_shards <= 1
                  else " (process pool unavailable; ran in-process)"))
+        print("phases: " + ", ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in fleet.phase_breakdown().items()))
+        if fleet.spans_adopted:
+            print(f"trace: {fleet.spans_adopted:,} worker spans merged "
+                  f"under the run span")
         if fleet.exec_cache:
             print(f"exec cache: {fleet.cache_hits:,} hits / "
                   f"{fleet.cache_hits + fleet.cache_misses:,} cacheable "
@@ -127,7 +137,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                       f"{failure.kind}: {failure.message}")
             print(f"the saved store is valid but partial; re-run with "
                   f"--resume to complete it (journal: "
-                  f"{fleet.journal_dir})")
+                  f"{fleet.journal_dir}); inspect with "
+                  f"`repro fleet-status {args.out}`")
             return 3
         # Full run: the journal has served its purpose.
         from .faults.journal import ShardJournal
@@ -620,6 +631,31 @@ def _render_telemetry(records: list[dict]) -> str:
     return "\n\n".join(sections)
 
 
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Render a fleet run's live/post-mortem status from its journal."""
+    import time as _time
+    from pathlib import Path
+
+    from .faults.journal import journal_dir_for
+    from .obs.fleetwatch import collect_fleet_status, render_fleet_status
+
+    path = Path(args.out)
+    journal_dir = path if path.name.endswith(".shards") \
+        else journal_dir_for(path)
+    while True:
+        status = collect_fleet_status(journal_dir,
+                                      stall_after=args.stall_after)
+        if args.json:
+            print(json.dumps(status.to_dict(), indent=2))
+        else:
+            print(render_fleet_status(status))
+        if not args.watch or status.complete or not status.exists:
+            return 0
+        _time.sleep(args.watch)
+        if not args.json:
+            print()
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     records = []
     bad_lines = 0
@@ -647,7 +683,11 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     if bad_lines:
         _log.warning("telemetry_bad_lines", file=args.file,
                      skipped=bad_lines)
-    print(_render_telemetry(records))
+    if args.timeline:
+        from .reporting import render_span_timeline
+        print(render_span_timeline(records))
+    else:
+        print(_render_telemetry(records))
     return 0
 
 
@@ -775,7 +815,29 @@ def build_parser() -> argparse.ArgumentParser:
                                help="render an exported telemetry "
                                     "JSONL file")
     telemetry.add_argument("file")
+    telemetry.add_argument("--timeline", action="store_true",
+                           help="render the causal span tree (offsets, "
+                                "nesting, per-worker labels) instead "
+                                "of aggregate tables")
     telemetry.set_defaults(fn=_cmd_telemetry)
+
+    fleet_status = sub.add_parser(
+        "fleet-status", parents=[obs_flags],
+        help="status of a fleet run from its shard journal "
+             "(live or post-mortem)")
+    fleet_status.add_argument(
+        "out", help="the run's --out path (or its <out>.shards dir)")
+    fleet_status.add_argument(
+        "--stall-after", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat silence that flags a running shard as stalled "
+             "(default 30)")
+    fleet_status.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the rendered view")
+    fleet_status.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render every SECONDS until the run completes")
+    fleet_status.set_defaults(fn=_cmd_fleet_status)
     return parser
 
 

@@ -3,10 +3,12 @@
 A fleet run with an output path ``corpus.db`` journals under
 ``corpus.db.shards/``::
 
-    manifest.json     run fingerprint + shard layout (written first)
-    shard-0002.db     the shard's trace store (sqlite, worker-written)
-    shard-0002.pkl    pipeline records + tallies (worker-written)
-    shard-0002.json   outcome entry (driver-written after the fact)
+    manifest.json            run fingerprint + shard layout (written first)
+    shard-0002.db            the shard's trace store (sqlite, worker-written)
+    shard-0002.pkl           pipeline records + tallies (worker-written)
+    shard-0002.json          outcome entry (driver-written after the fact)
+    shard-0002.spans.jsonl   the shard's trace spans (when tracing is on)
+    shard-0002.status.json   live heartbeat (:mod:`repro.obs.fleetwatch`)
 
 Workers persist their payload (``.db`` + ``.pkl``) the moment a shard
 finishes; the driver records the outcome entry as each result (or
@@ -37,11 +39,15 @@ from ..mlmd.store import MetadataStore
 from ..obs.metrics import MetricsRegistry, set_registry
 
 __all__ = ["JournalError", "ShardEntry", "ShardJournal",
-           "config_fingerprint", "journal_dir_for",
+           "config_fingerprint", "journal_dir_for", "spans_path",
            "write_shard_payload"]
 
 MANIFEST = "manifest.json"
-JOURNAL_VERSION = 1
+#: Bumped whenever the payload/extras schema changes; the fingerprint
+#: covers it, so ``--resume`` refuses a journal from an older layout
+#: instead of loading half-compatible pickles. v2: per-shard instrument
+#: state records + phase timings replaced the counter-only tallies.
+JOURNAL_VERSION = 2
 
 
 class JournalError(RuntimeError):
@@ -80,6 +86,11 @@ def _atomic_write(path: Path, data: bytes) -> None:
 
 def _stem(shard_index: int) -> str:
     return f"shard-{shard_index:04d}"
+
+
+def spans_path(directory: str | Path, shard_index: int) -> Path:
+    """Where a shard's trace spans live inside the journal dir."""
+    return Path(directory) / (_stem(shard_index) + ".spans.jsonl")
 
 
 def write_shard_payload(directory: str | Path, shard_index: int,

@@ -28,7 +28,8 @@ from ..mlmd.abstract import AbstractStore
 from ..mlmd.store import MetadataStore
 from ..mlmd.types import Artifact, Context, Event, Execution, TelemetryRecord
 
-__all__ = ["MergeMaps", "StoreSnapshot", "merge_snapshot", "snapshot_store"]
+__all__ = ["MergeMaps", "StoreSnapshot", "merge_snapshot",
+           "snapshot_row_count", "snapshot_store"]
 
 #: Artifact properties whose value is an artifact id (set by operators:
 #: SchemaGen's source_statistics, Pusher's model_artifact). Any merge
@@ -52,6 +53,15 @@ class StoreSnapshot:
     attributions: list[tuple[int, int]] = field(default_factory=list)
     associations: list[tuple[int, int]] = field(default_factory=list)
     telemetry: list[TelemetryRecord] = field(default_factory=list)
+
+
+def snapshot_row_count(snapshot: StoreSnapshot) -> int:
+    """Total rows a merge of ``snapshot`` re-inserts (the denominator
+    of the fleet's merge rows/sec phase metric)."""
+    return (len(snapshot.artifacts) + len(snapshot.executions)
+            + len(snapshot.contexts) + len(snapshot.events)
+            + len(snapshot.attributions) + len(snapshot.associations)
+            + len(snapshot.telemetry))
 
 
 @dataclass

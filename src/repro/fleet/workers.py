@@ -21,15 +21,24 @@ Worker discipline:
 
 * Workers install a **fresh metrics registry** before simulating — a
   forked child inherits the parent's counter values, and returning
-  those would double-count. The parent folds each shard's counter
-  snapshot back into its own registry, which is what keeps
-  ``corpus.pipelines_generated`` (and progress lines) correct under
-  multi-process generation. Histogram reservoirs are not folded back
-  (no lossless merge exists); fleet-level histograms reflect the
-  parent process only.
+  those would double-count. The parent folds each shard's instrument
+  state (counters exactly; histograms via
+  :meth:`~repro.obs.metrics.Histogram.merge_state`, exact aggregates
+  plus merged reservoirs) back into its own registry, which is what
+  keeps ``corpus.pipelines_generated`` and per-pipeline latency
+  histograms correct under multi-process generation.
+* Workers install a **fresh tracer** when the driver hands them a
+  :class:`~repro.obs.tracing.TraceContext`: per-shard spans
+  (``fleet.shard`` → ``fleet.shard.simulate`` → per-pipeline
+  ``corpus.pipeline``) record in the worker, are journaled as
+  ``shard-NNNN.spans.jsonl``, and the driver adopts them under its
+  ``fleet.run`` span — one causally ordered cross-process timeline.
 * Workers return a :class:`~repro.fleet.merge.StoreSnapshot`, not a
   ``MetadataStore`` — the store object is not picklable (its bound
-  instruments hold locks).
+  instruments hold locks). On the process-pool path the worker pickles
+  the snapshot itself (``serialize=True``) so serialize time and byte
+  size are measured where they happen; inline shards skip the
+  round-trip entirely.
 
 Crash safety (:mod:`repro.faults`): a worker that raises — or is
 killed outright — loses only its own shard. The driver records a
@@ -43,9 +52,13 @@ and converges on the exact store a fault-free run produces.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
+import json
 import multiprocessing
 import os
 import pickle
+import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -57,15 +70,18 @@ from ..corpus.generator import (Corpus, PipelineRecord, ProgressCallback,
                                 print_progress_every, sample_pipeline_plan,
                                 _simulate_pipeline)
 from ..faults.injector import WorkerCrashError
-from ..faults.journal import (ShardJournal, config_fingerprint,
+from ..faults.journal import (ShardJournal, config_fingerprint, spans_path,
                               write_shard_payload)
 from ..faults.plan import FaultPlan, FaultSpec
 from ..faults.retry import RetryPolicy
 from ..mlmd import MetadataStore
+from ..obs.fleetwatch import ShardHeartbeat
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
+from ..obs.tracing import TraceContext, Tracer, get_tracer, set_tracer, span
 from .cache import ExecutionCache
-from .merge import StoreSnapshot, merge_snapshot, snapshot_store
+from .merge import (StoreSnapshot, merge_snapshot, snapshot_row_count,
+                    snapshot_store)
 
 __all__ = [
     "FleetReport",
@@ -131,16 +147,38 @@ def plan_shards(n_pipelines: int, workers: int) -> list[ShardSpec]:
 
 @dataclass
 class ShardResult:
-    """What one worker returns: the serialized shard plus its tallies."""
+    """What one worker returns: the serialized shard plus its tallies.
+
+    The shard's rows travel either as a live :class:`StoreSnapshot`
+    (``snapshot_direct``, inline/resume paths) or as a pickle blob the
+    worker serialized itself (``snapshot_blob``, process-pool path —
+    measured as the ``serialize`` phase). :attr:`snapshot` presents one
+    view over both.
+    """
 
     spec: ShardSpec
-    snapshot: StoreSnapshot
     records: list[PipelineRecord]
     cache_hits: int = 0
     cache_misses: int = 0
     saved_cpu_hours: float = 0.0
-    counters: list[dict] = field(default_factory=list)
+    instruments: list[dict] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    phase_seconds: dict = field(default_factory=dict)
+    snapshot_bytes: int = 0
+    finished_unix: float = 0.0
+    spans: list[dict] = field(default_factory=list)
+    trace_meta: dict = field(default_factory=dict)
+    transfer_seconds: float = 0.0
+    snapshot_blob: bytes | None = None
+    snapshot_direct: StoreSnapshot | None = None
+
+    @property
+    def snapshot(self) -> StoreSnapshot:
+        """The shard's rows, unpickling the blob on first access."""
+        if self.snapshot_direct is None:
+            self.snapshot_direct = pickle.loads(self.snapshot_blob)
+            self.snapshot_blob = None
+        return self.snapshot_direct
 
 
 @dataclass(frozen=True)
@@ -183,7 +221,9 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
               fault_plan: FaultPlan | None = None,
               retry_policy: RetryPolicy | None = None,
               journal_dir: str | Path | None = None,
-              allow_crash: bool = True) -> ShardResult:
+              allow_crash: bool = True,
+              trace_ctx: TraceContext | None = None,
+              serialize: bool = False) -> ShardResult:
     """Simulate one shard into a private store (worker entry point).
 
     Runs in a worker process (or inline for workers=1): installs a
@@ -197,13 +237,26 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
     it, e.g. on resume after the journal already saw the crash). With
     a ``journal_dir``, the finished shard's store and tallies are
     persisted there before returning — a crashed worker leaves no
-    payload, only the driver-side failure entry.
+    payload, only the driver-side failure entry — and the shard
+    heartbeats progress into ``shard-NNNN.status.json`` for
+    ``repro fleet-status``. With a ``trace_ctx``, a fresh worker
+    tracer records the shard's spans for driver-side adoption; with
+    ``serialize=True`` (the process-pool path) the snapshot is pickled
+    here, under measurement, instead of implicitly by the pool.
     """
     started = perf_counter()
     crash = None
     if fault_plan is not None and allow_crash:
         crash = fault_plan.worker_crash(spec.shard_index)
+    worker_name = f"shard-{spec.shard_index:04d}"
+    heartbeat = None
+    if journal_dir is not None:
+        heartbeat = ShardHeartbeat(journal_dir, spec.shard_index,
+                                   spec.n_pipelines, worker=worker_name)
     previous_registry = set_registry(MetricsRegistry())
+    worker_tracer = Tracer(context=trace_ctx) if trace_ctx else None
+    previous_tracer = set_tracer(worker_tracer) if worker_tracer else None
+    phases: dict[str, float] = {}
     try:
         registry = get_registry()
         pipelines_done = registry.counter("corpus.pipelines_generated")
@@ -214,43 +267,96 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
         records = []
         hits = misses = 0
         saved = 0.0
-        for offset, index in enumerate(range(spec.start, spec.stop)):
-            _maybe_crash(crash, spec, offset)
-            rng = pipeline_rng(config.seed, index)
-            archetype, start_time = sample_pipeline_plan(rng, config,
-                                                         index)
-            # Per-pipeline cache scope: pipelines never share artifacts,
-            # and pipeline-local hits are shard-assignment-invariant.
-            cache = ExecutionCache() if exec_cache else None
-            injector = (fault_plan.injector(index)
-                        if fault_plan is not None else None)
-            with registry.timer("corpus.pipeline_seconds"):
-                record = _simulate_pipeline(
-                    store, config, archetype, rng, start_time,
-                    execution_cache=cache, fault_injector=injector,
-                    retry_policy=retry_policy)
-            pipelines_done.value += 1
-            records.append(record)
-            if cache is not None:
-                hits += cache.hits
-                misses += cache.misses
-                saved += cache.saved_cpu_hours
-        counters = [record for record in registry.snapshot()
-                    if record["kind"] == "counter"]
-        elapsed = perf_counter() - started
-        extras = dict(records=records, cache_hits=hits,
-                      cache_misses=misses, saved_cpu_hours=saved,
-                      counters=counters, elapsed_seconds=elapsed)
-        if journal_dir is not None:
-            # Counters were snapshotted first: the journal write's own
-            # store ops must not leak into the folded tallies (resumed
-            # and fresh merges must fold identical numbers).
-            write_shard_payload(journal_dir, spec.shard_index, store,
-                                extras)
-        return ShardResult(spec=spec, snapshot=snapshot_store(store),
-                           **extras)
+        if heartbeat is not None:
+            heartbeat.beat("simulate", 0, force=True)
+        with span("fleet.shard", shard_index=spec.shard_index,
+                  start=spec.start, stop=spec.stop):
+            sim_started = perf_counter()
+            with span("fleet.shard.simulate",
+                      pipelines=spec.n_pipelines):
+                for offset, index in enumerate(range(spec.start,
+                                                     spec.stop)):
+                    _maybe_crash(crash, spec, offset)
+                    rng = pipeline_rng(config.seed, index)
+                    archetype, start_time = sample_pipeline_plan(
+                        rng, config, index)
+                    # Per-pipeline cache scope: pipelines never share
+                    # artifacts, and pipeline-local hits are
+                    # shard-assignment-invariant.
+                    cache = ExecutionCache() if exec_cache else None
+                    injector = (fault_plan.injector(index)
+                                if fault_plan is not None else None)
+                    with span("corpus.pipeline", index=index,
+                              archetype=archetype.name):
+                        with registry.timer("corpus.pipeline_seconds"):
+                            record = _simulate_pipeline(
+                                store, config, archetype, rng,
+                                start_time, execution_cache=cache,
+                                fault_injector=injector,
+                                retry_policy=retry_policy)
+                    pipelines_done.value += 1
+                    records.append(record)
+                    if cache is not None:
+                        hits += cache.hits
+                        misses += cache.misses
+                        saved += cache.saved_cpu_hours
+                    if heartbeat is not None:
+                        heartbeat.beat("simulate", offset + 1)
+            phases["simulate"] = perf_counter() - sim_started
+            # Instruments snapshot *here*: the serialize/journal store
+            # reads below must not leak into the folded tallies
+            # (resumed and fresh merges must fold identical numbers).
+            instruments = registry.state_records()
+            if heartbeat is not None:
+                heartbeat.beat("serialize", spec.n_pipelines, force=True)
+            ser_started = perf_counter()
+            blob = None
+            with span("fleet.shard.serialize") as ser_span:
+                snapshot = snapshot_store(store)
+                if serialize:
+                    blob = pickle.dumps(snapshot,
+                                        protocol=pickle.HIGHEST_PROTOCOL)
+                    ser_span.set_attr("bytes", len(blob))
+                ser_span.set_attr("rows", snapshot_row_count(snapshot))
+            phases["serialize"] = perf_counter() - ser_started
+            if journal_dir is not None:
+                with span("fleet.shard.journal"):
+                    write_shard_payload(
+                        journal_dir, spec.shard_index, store,
+                        dict(records=records, cache_hits=hits,
+                             cache_misses=misses, saved_cpu_hours=saved,
+                             instruments=instruments,
+                             elapsed_seconds=perf_counter() - started,
+                             phase_seconds=dict(phases),
+                             snapshot_bytes=len(blob) if blob else 0,
+                             finished_unix=time.time()))
+        span_records: list[dict] = []
+        trace_meta: dict = {}
+        if worker_tracer is not None:
+            span_records = worker_tracer.span_records()
+            trace_meta = {"epoch": worker_tracer.epoch,
+                          "worker": worker_name,
+                          "trace_id": trace_ctx.trace_id}
+            if journal_dir is not None:
+                worker_tracer.export_jsonl(
+                    spans_path(journal_dir, spec.shard_index))
+        if heartbeat is not None:
+            heartbeat.beat("done", spec.n_pipelines, force=True)
+        return ShardResult(
+            spec=spec, records=records, cache_hits=hits,
+            cache_misses=misses, saved_cpu_hours=saved,
+            instruments=instruments,
+            elapsed_seconds=perf_counter() - started,
+            phase_seconds=phases,
+            snapshot_bytes=len(blob) if blob else 0,
+            finished_unix=time.time(),
+            spans=span_records, trace_meta=trace_meta,
+            snapshot_blob=blob,
+            snapshot_direct=None if blob is not None else snapshot)
     finally:
         set_registry(previous_registry)
+        if previous_tracer is not None:
+            set_tracer(previous_tracer)
 
 
 @dataclass
@@ -270,12 +376,30 @@ class FleetReport:
     failed_shards: list[ShardFailure] = field(default_factory=list)
     resumed_shards: int = 0
     journal_dir: str = ""
+    phase_seconds: dict = field(default_factory=dict)
+    snapshot_bytes: int = 0
+    merge_rows: int = 0
+    spans_adopted: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
         """Hits over cacheable executions (0.0 when cache disabled)."""
         seen = self.cache_hits + self.cache_misses
         return self.cache_hits / seen if seen else 0.0
+
+    @property
+    def merge_rows_per_sec(self) -> float:
+        """Merge re-insert throughput (0.0 before any merge)."""
+        elapsed = self.phase_seconds.get("merge", 0.0)
+        return self.merge_rows / elapsed if elapsed > 0 else 0.0
+
+    def phase_breakdown(self) -> dict:
+        """Coordinator wall-clock by phase, with the unattributed
+        remainder as ``other`` — sums to ``wall_seconds``."""
+        named = {k: v for k, v in self.phase_seconds.items()}
+        named["other"] = max(
+            0.0, self.wall_seconds - sum(self.phase_seconds.values()))
+        return named
 
     @property
     def complete(self) -> bool:
@@ -288,19 +412,47 @@ class FleetReport:
         return sum(f.n_pipelines for f in self.failed_shards)
 
 
-def _fold_counters(result: ShardResult) -> None:
-    """Fold one shard's counter snapshot into the parent registry.
+@contextlib.contextmanager
+def _timed_phase(phases: dict, name: str, **attrs):
+    """Time one coordinator phase into ``phases`` under a fleet span."""
+    with span(f"fleet.{name}", **attrs):
+        phase_started = perf_counter()
+        try:
+            yield
+        finally:
+            phases[name] = (phases.get(name, 0.0)
+                            + perf_counter() - phase_started)
 
-    This is what keeps multi-process counts honest: the shard counted
-    its own pipelines/executions in its private registry, and the
-    parent adds those totals to its instruments instead of reading a
-    registry the workers never touched.
+
+def _load_shard_spans(journal_dir: Path,
+                      shard_index: int) -> tuple[list[dict], dict]:
+    """Reload a resumed shard's journaled spans (empty if never traced).
+
+    The first line of ``shard-NNNN.spans.jsonl`` is the trace header
+    (worker name + epoch); span lines follow. A torn or missing file
+    degrades to no spans — resume never fails on telemetry.
     """
-    registry = get_registry()
-    for record in result.counters:
-        if record["value"]:
-            registry.counter(record["name"],
-                             **record["labels"]).inc(record["value"])
+    path = spans_path(journal_dir, shard_index)
+    spans: list[dict] = []
+    meta: dict = {}
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        return spans, meta
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        if record.get("kind") == "trace_header":
+            meta = {"epoch": record.get("epoch"),
+                    "worker": record.get("worker", ""),
+                    "trace_id": record.get("trace_id", "")}
+        elif record.get("kind") == "span":
+            spans.append(record)
+    return spans, meta
 
 
 def generate_corpus_fleet(config: CorpusConfig | None = None,
@@ -355,170 +507,241 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
     if resume and journal_dir is None:
         raise ValueError("resume=True requires a journal_dir")
     started = perf_counter()
-    shards = plan_shards(config.n_pipelines, workers)
-    if progress_callback is None and progress:
-        # Fleet progress is shard-granular, so report on every merge.
-        progress_callback = print_progress_every(1)
-    journal = None
-    if journal_dir is not None:
-        fingerprint = config_fingerprint(
-            config, shards, exec_cache=exec_cache, telemetry=telemetry,
-            fault_plan=fault_plan, retry_policy=retry_policy)
-        journal = ShardJournal(journal_dir, fingerprint)
-        journal.open(shards, resume=resume)
-    _log.info("fleet_generation_started", pipelines=config.n_pipelines,
-              workers=len(shards), seed=config.seed,
-              exec_cache=exec_cache, resume=resume,
-              faults=len(fault_plan.specs) if fault_plan else 0)
+    tracer = get_tracer()
+    registry = get_registry()
+    phases: dict[str, float] = {}
+    trace_id = uuid.uuid4().hex[:16] if tracer.enabled else ""
+    with span("fleet.run", pipelines=config.n_pipelines,
+              workers=workers, trace_id=trace_id) as run_span:
+        if progress_callback is None and progress:
+            # Fleet progress is shard-granular, so report on every merge.
+            progress_callback = print_progress_every(1)
 
-    results: dict[int, ShardResult] = {}
-    failures: dict[int, ShardFailure] = {}
-    to_run: list[ShardSpec] = []
-    resumed = 0
-    for spec in shards:
-        if journal is not None and resume \
-                and journal.is_done(spec.shard_index):
-            shard_store, extras = journal.load_payload(spec.shard_index)
-            results[spec.shard_index] = ShardResult(
-                spec=spec, snapshot=snapshot_store(shard_store), **extras)
-            resumed += 1
-        else:
-            to_run.append(spec)
-    if resumed:
-        _log.info("fleet_shards_resumed", resumed=resumed,
-                  re_running=len(to_run))
+        results: dict[int, ShardResult] = {}
+        failures: dict[int, ShardFailure] = {}
+        to_run: list[ShardSpec] = []
+        resumed = 0
+        with _timed_phase(phases, "plan"):
+            shards = plan_shards(config.n_pipelines, workers)
+            journal = None
+            if journal_dir is not None:
+                fingerprint = config_fingerprint(
+                    config, shards, exec_cache=exec_cache,
+                    telemetry=telemetry, fault_plan=fault_plan,
+                    retry_policy=retry_policy)
+                journal = ShardJournal(journal_dir, fingerprint)
+                journal.open(shards, resume=resume)
+            _log.info("fleet_generation_started",
+                      pipelines=config.n_pipelines, workers=len(shards),
+                      seed=config.seed, exec_cache=exec_cache,
+                      resume=resume,
+                      faults=len(fault_plan.specs) if fault_plan else 0)
+            for spec in shards:
+                if journal is not None and resume \
+                        and journal.is_done(spec.shard_index):
+                    shard_store, extras = journal.load_payload(
+                        spec.shard_index)
+                    result = ShardResult(
+                        spec=spec,
+                        snapshot_direct=snapshot_store(shard_store),
+                        **extras)
+                    result.spans, result.trace_meta = _load_shard_spans(
+                        journal.directory, spec.shard_index)
+                    results[spec.shard_index] = result
+                    resumed += 1
+                else:
+                    to_run.append(spec)
+            if resumed:
+                _log.info("fleet_shards_resumed", resumed=resumed,
+                          re_running=len(to_run))
 
-    # An injected crash fires once per journal: a shard whose entry
-    # already counted a crash runs disarmed on resume.
-    allow_crash = {
-        spec.shard_index:
-            journal is None or journal.entry(spec.shard_index).crashes == 0
-        for spec in to_run
-    }
-    payload_dir = journal.directory if journal is not None else None
+        # An injected crash fires once per journal: a shard whose entry
+        # already counted a crash runs disarmed on resume.
+        allow_crash = {
+            spec.shard_index:
+                journal is None
+                or journal.entry(spec.shard_index).crashes == 0
+            for spec in to_run
+        }
+        payload_dir = journal.directory if journal is not None else None
 
-    def record_done(spec: ShardSpec, result: ShardResult) -> None:
-        results[spec.shard_index] = result
-        if journal is not None:
-            journal.record_done(spec.shard_index)
+        def trace_ctx_for(spec: ShardSpec) -> TraceContext | None:
+            if not tracer.enabled:
+                return None
+            return TraceContext(trace_id=trace_id,
+                                root_span_id=run_span.span_id,
+                                worker=f"shard-{spec.shard_index:04d}")
 
-    def record_failure(spec: ShardSpec, kind: str, message: str,
-                       crashed: bool = False) -> None:
-        failures[spec.shard_index] = ShardFailure(
-            spec.shard_index, spec.start, spec.stop, kind, message)
-        if journal is not None:
-            journal.record_failure(spec.shard_index, kind, message,
-                                   crashed=crashed)
-        _log.warning("fleet_shard_failed", shard=spec.shard_index,
-                     kind=kind, reason=message)
+        def record_done(spec: ShardSpec, result: ShardResult) -> None:
+            results[spec.shard_index] = result
+            if journal is not None:
+                journal.record_done(spec.shard_index)
 
-    def run_inline(spec: ShardSpec) -> None:
-        try:
-            record_done(spec, run_shard(
-                spec, config, telemetry, exec_cache, fault_plan,
-                retry_policy, payload_dir,
-                allow_crash[spec.shard_index]))
-        except WorkerCrashError as exc:
-            record_failure(spec, "worker_crash", str(exc), crashed=True)
-        except Exception as exc:  # A worker bug loses one shard, not the run.
-            record_failure(spec, "error", f"{type(exc).__name__}: {exc}")
+        def record_failure(spec: ShardSpec, kind: str, message: str,
+                           crashed: bool = False) -> None:
+            failures[spec.shard_index] = ShardFailure(
+                spec.shard_index, spec.start, spec.stop, kind, message)
+            if journal is not None:
+                journal.record_failure(spec.shard_index, kind, message,
+                                       crashed=crashed)
+            _log.warning("fleet_shard_failed", shard=spec.shard_index,
+                         kind=kind, reason=message)
 
-    used_processes = False
-    if to_run and (len(shards) == 1 or in_process or len(to_run) == 1):
-        for spec in to_run:
-            run_inline(spec)
-    elif to_run:
-        pool_casualties: list[ShardSpec] = []
-        try:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=len(to_run)) as pool:
-                futures = {
-                    pool.submit(run_shard, spec, config, telemetry,
+        def run_inline(spec: ShardSpec) -> None:
+            try:
+                record_done(spec, run_shard(
+                    spec, config, telemetry, exec_cache, fault_plan,
+                    retry_policy, payload_dir,
+                    allow_crash[spec.shard_index],
+                    trace_ctx=trace_ctx_for(spec)))
+            except WorkerCrashError as exc:
+                record_failure(spec, "worker_crash", str(exc),
+                               crashed=True)
+            except Exception as exc:  # A worker bug loses one shard only.
+                record_failure(spec, "error",
+                               f"{type(exc).__name__}: {exc}")
+
+        used_processes = False
+        with _timed_phase(phases, "simulate", shards=len(to_run)):
+            if to_run and (len(shards) == 1 or in_process
+                           or len(to_run) == 1):
+                for spec in to_run:
+                    run_inline(spec)
+            elif to_run:
+                pool_casualties: list[ShardSpec] = []
+                try:
+                    with concurrent.futures.ProcessPoolExecutor(
+                            max_workers=len(to_run)) as pool:
+                        futures = {
+                            pool.submit(
+                                run_shard, spec, config, telemetry,
                                 exec_cache, fault_plan, retry_policy,
                                 payload_dir,
-                                allow_crash[spec.shard_index]): spec
-                    for spec in to_run
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    spec = futures[future]
-                    try:
-                        record_done(spec, future.result())
+                                allow_crash[spec.shard_index],
+                                trace_ctx=trace_ctx_for(spec),
+                                serialize=True): spec
+                            for spec in to_run
+                        }
+                        for future in concurrent.futures.as_completed(
+                                futures):
+                            spec = futures[future]
+                            try:
+                                result = future.result()
+                                # Receipt time minus the worker's return
+                                # stamp ≈ time the shard spent queued +
+                                # crossing the process boundary.
+                                result.transfer_seconds = max(
+                                    0.0,
+                                    time.time() - result.finished_unix)
+                                record_done(spec, result)
+                                used_processes = True
+                            except WorkerCrashError as exc:
+                                record_failure(spec, "worker_crash",
+                                               str(exc), crashed=True)
+                                used_processes = True
+                            except (concurrent.futures.process
+                                    .BrokenProcessPool):
+                                pool_casualties.append(spec)
+                            except Exception as exc:
+                                record_failure(
+                                    spec, "error",
+                                    f"{type(exc).__name__}: {exc}")
+                                used_processes = True
+                except (OSError, pickle.PicklingError,
+                        concurrent.futures.process
+                        .BrokenProcessPool) as exc:
+                    _log.warning("fleet_pool_unavailable",
+                                 reason=type(exc).__name__,
+                                 fallback="in_process")
+                    pool_casualties = [
+                        spec for spec in to_run
+                        if spec.shard_index not in results
+                        and spec.shard_index not in failures]
+                # A broken pool can't say which worker died. A shard
+                # whose plan called for a kill-mode crash is the culprit
+                # — record it as crashed; the rest are innocent victims
+                # of the shared pool (or the sandbox denied processes
+                # entirely) and re-run inline.
+                for spec in pool_casualties:
+                    crash = (fault_plan.worker_crash(spec.shard_index)
+                             if fault_plan is not None else None)
+                    if crash is not None and crash.mode == "kill" \
+                            and allow_crash[spec.shard_index]:
                         used_processes = True
-                    except WorkerCrashError as exc:
-                        record_failure(spec, "worker_crash", str(exc),
-                                       crashed=True)
-                        used_processes = True
-                    except concurrent.futures.process.BrokenProcessPool:
-                        pool_casualties.append(spec)
-                    except Exception as exc:
                         record_failure(
-                            spec, "error",
-                            f"{type(exc).__name__}: {exc}")
-                        used_processes = True
-        except (OSError, pickle.PicklingError,
-                concurrent.futures.process.BrokenProcessPool) as exc:
-            _log.warning("fleet_pool_unavailable",
-                         reason=type(exc).__name__, fallback="in_process")
-            pool_casualties = [
-                spec for spec in to_run
-                if spec.shard_index not in results
-                and spec.shard_index not in failures]
-        # A broken pool can't say which worker died. A shard whose plan
-        # called for a kill-mode crash is the culprit — record it as
-        # crashed; the rest are innocent victims of the shared pool (or
-        # the sandbox denied processes entirely) and re-run inline.
-        for spec in pool_casualties:
-            crash = (fault_plan.worker_crash(spec.shard_index)
-                     if fault_plan is not None else None)
-            if crash is not None and crash.mode == "kill" \
-                    and allow_crash[spec.shard_index]:
-                used_processes = True
-                record_failure(
-                    spec, "worker_killed",
-                    f"worker for shard {spec.shard_index} killed after "
-                    f"{crash.after_pipelines} pipeline(s)", crashed=True)
-            else:
-                run_inline(spec)
+                            spec, "worker_killed",
+                            f"worker for shard {spec.shard_index} "
+                            f"killed after {crash.after_pipelines} "
+                            "pipeline(s)", crashed=True)
+                    else:
+                        run_inline(spec)
 
-    store = MetadataStore()
-    if telemetry:
-        from ..obs.provenance import attach_sink
-        attach_sink(store)
-    corpus = Corpus(store=store, config=config)
-    report = FleetReport(workers=len(shards), shards=shards,
-                         pipelines=config.n_pipelines,
-                         exec_cache=exec_cache,
-                         used_processes=used_processes,
-                         resumed_shards=resumed,
-                         journal_dir=str(journal.directory)
-                         if journal is not None else "")
-    done = 0
-    # Merge in shard order: contiguous shards re-inserted in order give
-    # the same global id assignment as a single-worker run. Failed
-    # shards are skipped — the merged store stays valid, just partial.
-    for spec in shards:
-        result = results.get(spec.shard_index)
-        if result is None:
-            continue
-        maps = merge_snapshot(store, result.snapshot)
-        for record in result.records:
-            record.context_id = maps.context_ids[record.context_id]
-            corpus.records.append(record)
-        _fold_counters(result)
-        report.cache_hits += result.cache_hits
-        report.cache_misses += result.cache_misses
-        report.saved_cpu_hours += result.saved_cpu_hours
-        report.shard_seconds.append(result.elapsed_seconds)
-        done += result.spec.n_pipelines
-        if progress_callback is not None:
-            progress_callback(done, config.n_pipelines, store)
-    report.failed_shards = [failures[i] for i in sorted(failures)]
-    if telemetry and store.telemetry_sink is not None:
-        # The fleet-level instrument snapshot (with folded-in shard
-        # counters) persists into the merged store, mirroring the
-        # sequential generator's end-of-run registry record.
-        store.telemetry_sink.record_registry(get_registry())
+        store = MetadataStore()
+        if telemetry:
+            from ..obs.provenance import attach_sink
+            attach_sink(store)
+        corpus = Corpus(store=store, config=config)
+        report = FleetReport(workers=len(shards), shards=shards,
+                             pipelines=config.n_pipelines,
+                             exec_cache=exec_cache,
+                             used_processes=used_processes,
+                             resumed_shards=resumed,
+                             journal_dir=str(journal.directory)
+                             if journal is not None else "")
+        done = 0
+        # Merge in shard order: contiguous shards re-inserted in order
+        # give the same global id assignment as a single-worker run.
+        # Failed shards are skipped — the merged store stays valid,
+        # just partial.
+        with _timed_phase(phases, "merge"):
+            for spec in shards:
+                result = results.get(spec.shard_index)
+                if result is None:
+                    continue
+                report.merge_rows += snapshot_row_count(result.snapshot)
+                maps = merge_snapshot(store, result.snapshot)
+                for record in result.records:
+                    record.context_id = maps.context_ids[
+                        record.context_id]
+                    corpus.records.append(record)
+                registry.fold(result.instruments)
+                _record_shard_dataplane(registry, result)
+                if tracer.enabled:
+                    if result.spans:
+                        report.spans_adopted += tracer.adopt_spans(
+                            result.spans,
+                            epoch=result.trace_meta.get("epoch"),
+                            default_parent_id=run_span.span_id,
+                            worker=result.trace_meta.get("worker", ""))
+                    else:
+                        _log.warning("fleet_shard_telemetry_missing",
+                                     shard=spec.shard_index,
+                                     reason="no spans returned")
+                report.cache_hits += result.cache_hits
+                report.cache_misses += result.cache_misses
+                report.saved_cpu_hours += result.saved_cpu_hours
+                report.shard_seconds.append(result.elapsed_seconds)
+                report.snapshot_bytes += result.snapshot_bytes
+                done += result.spec.n_pipelines
+                if progress_callback is not None:
+                    progress_callback(done, config.n_pipelines, store)
+
+        with _timed_phase(phases, "finalize"):
+            report.failed_shards = [failures[i] for i in sorted(failures)]
+            if telemetry and store.telemetry_sink is not None:
+                # The fleet-level instrument snapshot (with folded-in
+                # shard tallies) persists into the merged store,
+                # mirroring the sequential generator's end-of-run
+                # registry record.
+                store.telemetry_sink.record_registry(registry)
+
+    report.phase_seconds = phases
     report.wall_seconds = perf_counter() - started
+    for name, seconds in report.phase_breakdown().items():
+        registry.gauge("fleet.phase_seconds", phase=name).set(seconds)
+    if report.merge_rows:
+        registry.gauge("fleet.merge.rows_per_sec").set(
+            report.merge_rows_per_sec)
     if report.failed_shards:
         _log.warning("fleet_generated_partial",
                      merged=len(corpus.records),
@@ -531,3 +754,27 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
               saved_cpu_hours=round(report.saved_cpu_hours, 3),
               wall_seconds=round(report.wall_seconds, 3))
     return corpus, report
+
+
+def _record_shard_dataplane(registry: MetricsRegistry,
+                            result: ShardResult) -> None:
+    """Record one shard's data-plane costs into the fleet registry.
+
+    These are coordinator-side instruments (the worker's own registry
+    was already snapshotted before serialization started), so the fleet
+    timeline carries serialize/transfer/snapshot-size distributions per
+    shard without double-counting worker-side instruments.
+
+    Every shard records all three histograms so the instrument set —
+    and therefore the telemetry rows a sink persists — is invariant to
+    worker count: inline shards honestly observe 0 bytes serialized and
+    a 0-second transfer (the snapshot is handed over in-process).
+    """
+    serialize_seconds = result.phase_seconds.get("serialize")
+    if serialize_seconds is not None:
+        registry.histogram("fleet.shard.serialize_seconds").record(
+            serialize_seconds)
+    registry.histogram("fleet.shard.snapshot_bytes").record(
+        result.snapshot_bytes)
+    registry.histogram("fleet.shard.transfer_seconds").record(
+        result.transfer_seconds or 0.0)

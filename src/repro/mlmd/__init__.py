@@ -12,7 +12,7 @@ reads live in :mod:`repro.query`; the error taxonomy in
 :mod:`repro.mlmd.errors`.
 """
 
-from .abstract import AbstractStore, renamed_kwargs
+from .abstract import AbstractStore
 from .errors import (
     AlreadyExistsError,
     IntegrityError,
@@ -101,7 +101,6 @@ __all__ = [
     "salvage_store",
     "provenance_path",
     "reachable",
-    "renamed_kwargs",
     "save_store",
     "summarize_by_type",
     "trace_lifespan_days",

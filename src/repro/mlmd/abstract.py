@@ -7,26 +7,25 @@ truth: both backends implement it, :class:`repro.query.MetadataClient`
 is written against it, and the backend-parity test suite runs every
 operation against both implementations on the same corpus.
 
-Three pieces live here:
+Two pieces live here:
 
 * :class:`AbstractStore` — the abstract write/read API (node puts, edge
   puts, node/adjacency/context/telemetry reads, counts) plus default
   batched reads (``get_artifacts_by_id`` / ``get_executions_by_id``).
+  Bulk node reads (``get_artifacts()`` etc.) return *everything*:
+  type-filtered store-side scans and the pre-unification kwarg
+  spellings finished their one-release deprecation window and are gone
+  — filtered reads go through the indexed
+  :class:`repro.query.MetadataClient`.
 * **Mutation notifications** — ``subscribe``/``unsubscribe`` let a
   query layer maintain secondary indexes *incrementally* instead of
   re-scanning the store: each successful write calls every listener
   with ``(kind, payload, created)``. The hot path pays one truthiness
   check when nobody is subscribed.
-* :func:`renamed_kwargs` — the deprecation shim for kwarg spellings
-  that diverged between the backends before unification; old names
-  keep working for one release and emit :class:`DeprecationWarning`
-  naming the new spelling.
 """
 
 from __future__ import annotations
 
-import functools
-import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
 
@@ -45,35 +44,6 @@ MUTATION_KINDS = ("artifact", "execution", "context", "event",
 #: ``listener(kind, payload, created)`` — ``payload`` is the node /
 #: event dataclass or an id pair, ``created`` is False for updates.
 MutationListener = Callable[[str, object, bool], None]
-
-
-def renamed_kwargs(**renames: str):
-    """Shim decorator: accept deprecated kwarg spellings with a warning.
-
-    ``renames`` maps old name → new name. A call using the old spelling
-    still works, emits a :class:`DeprecationWarning` naming the new
-    spelling, and is rejected if both spellings are supplied::
-
-        @renamed_kwargs(artifact_type="type_name")
-        def get_artifacts(self, type_name=None): ...
-    """
-    def decorate(fn):
-        @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
-            for old, new in renames.items():
-                if old in kwargs:
-                    if new in kwargs:
-                        raise TypeError(
-                            f"{fn.__name__}() got both {old!r} (deprecated)"
-                            f" and {new!r}")
-                    warnings.warn(
-                        f"{fn.__name__}({old}=...) is deprecated; "
-                        f"use {new}=... (removal in the next release)",
-                        DeprecationWarning, stacklevel=2)
-                    kwargs[new] = kwargs.pop(old)
-            return fn(*args, **kwargs)
-        return wrapper
-    return decorate
 
 
 class AbstractStore(ABC):
@@ -156,19 +126,17 @@ class AbstractStore(ABC):
         """Return the context with the given id (NotFoundError else)."""
 
     @abstractmethod
-    def get_artifacts(self, type_name: str | None = None) -> list[Artifact]:
-        """All artifacts, optionally filtered by type (a scan; prefer
-        :meth:`repro.query.MetadataClient.artifacts` for filtered
-        reads)."""
+    def get_artifacts(self) -> list[Artifact]:
+        """All artifacts in id order (filtered reads go through
+        :meth:`repro.query.MetadataClient.artifacts`)."""
 
     @abstractmethod
-    def get_executions(self,
-                       type_name: str | None = None) -> list[Execution]:
-        """All executions, optionally filtered by type (a scan)."""
+    def get_executions(self) -> list[Execution]:
+        """All executions in id order."""
 
     @abstractmethod
-    def get_contexts(self, type_name: str | None = None) -> list[Context]:
-        """All contexts, optionally filtered by type (a scan)."""
+    def get_contexts(self) -> list[Context]:
+        """All contexts in id order."""
 
     @abstractmethod
     def get_artifact_by_name(self, type_name: str, name: str) -> Artifact:

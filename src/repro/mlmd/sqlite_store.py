@@ -46,13 +46,13 @@ from collections.abc import Sequence
 
 from ..obs.metrics import get_registry
 from ..obs.tracing import span
-from .abstract import AbstractStore, renamed_kwargs
+from .abstract import AbstractStore
 from .errors import (
     AlreadyExistsError,
     IntegrityError,
     NotFoundError,
 )
-from .store import MetadataStore, _warn_scan
+from .store import MetadataStore
 from .types import (
     Artifact,
     ArtifactState,
@@ -820,42 +820,19 @@ class SqliteStore(AbstractStore):
             raise NotFoundError(f"context id {context_id} not found")
         return self._context(row)
 
-    @renamed_kwargs(artifact_type="type_name")
-    def get_artifacts(self, type_name: str | None = None) -> list[Artifact]:
-        if type_name is None:
-            rows = self._execute(
-                f"SELECT {self._ARTIFACT_COLS} FROM artifacts ORDER BY id")
-        else:
-            _warn_scan("get_artifacts")
-            rows = self._execute(
-                f"SELECT {self._ARTIFACT_COLS} FROM artifacts"
-                " WHERE type_name=? ORDER BY id", (type_name,))
+    def get_artifacts(self) -> list[Artifact]:
+        rows = self._execute(
+            f"SELECT {self._ARTIFACT_COLS} FROM artifacts ORDER BY id")
         return [self._artifact(r) for r in rows]
 
-    @renamed_kwargs(execution_type="type_name")
-    def get_executions(self,
-                       type_name: str | None = None) -> list[Execution]:
-        if type_name is None:
-            rows = self._execute(
-                f"SELECT {self._EXECUTION_COLS} FROM executions"
-                " ORDER BY id")
-        else:
-            _warn_scan("get_executions")
-            rows = self._execute(
-                f"SELECT {self._EXECUTION_COLS} FROM executions"
-                " WHERE type_name=? ORDER BY id", (type_name,))
+    def get_executions(self) -> list[Execution]:
+        rows = self._execute(
+            f"SELECT {self._EXECUTION_COLS} FROM executions ORDER BY id")
         return [self._execution(r) for r in rows]
 
-    @renamed_kwargs(context_type="type_name")
-    def get_contexts(self, type_name: str | None = None) -> list[Context]:
-        if type_name is None:
-            rows = self._execute(
-                f"SELECT {self._CONTEXT_COLS} FROM contexts ORDER BY id")
-        else:
-            _warn_scan("get_contexts")
-            rows = self._execute(
-                f"SELECT {self._CONTEXT_COLS} FROM contexts"
-                " WHERE type_name=? ORDER BY id", (type_name,))
+    def get_contexts(self) -> list[Context]:
+        rows = self._execute(
+            f"SELECT {self._CONTEXT_COLS} FROM contexts ORDER BY id")
         return [self._context(r) for r in rows]
 
     def get_artifact_by_name(self, type_name: str, name: str) -> Artifact:

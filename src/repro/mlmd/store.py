@@ -13,21 +13,21 @@ artifacts, executions, events, and contexts — the exact contract is
 :class:`repro.mlmd.abstract.AbstractStore`, which the sqlite backend
 implements too.
 
-Deprecated for one release (still working, warning): type-filtered
-scans (``get_artifacts("Model")`` etc.) — the indexed replacement is
-``MetadataClient.artifacts(type_name=...)`` — and the pre-unification
-kwarg spellings ``artifact_type`` / ``execution_type`` /
-``context_type``.
+Bulk reads return everything: the deprecated type-filtered scans
+(``get_artifacts("Model")`` etc.) and the pre-unification kwarg
+spellings ``artifact_type`` / ``execution_type`` / ``context_type``
+completed their deprecation window and were removed — the indexed
+replacement is ``MetadataClient.artifacts(type_name=...)``
+(:func:`repro.query.as_client`).
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import defaultdict
 from collections.abc import Iterable, Sequence
 
 from ..obs.metrics import get_registry
-from .abstract import AbstractStore, renamed_kwargs
+from .abstract import AbstractStore
 from .errors import AlreadyExistsError, InvalidArgumentError, NotFoundError
 from .types import (
     Artifact,
@@ -38,15 +38,6 @@ from .types import (
     TelemetryRecord,
     validate_properties,
 )
-
-
-def _warn_scan(method: str) -> None:
-    warnings.warn(
-        f"type-filtered {method}() scans the whole store; use "
-        f"repro.query.MetadataClient for indexed reads "
-        f"(store-side filtering is removed in the next release)",
-        # caller → renamed_kwargs wrapper → get_* → _warn_scan
-        DeprecationWarning, stacklevel=4)
 
 
 class MetadataStore(AbstractStore):
@@ -268,30 +259,17 @@ class MetadataStore(AbstractStore):
         """Return the context with the given id."""
         return self._require_context(context_id)
 
-    @renamed_kwargs(artifact_type="type_name")
-    def get_artifacts(self, type_name: str | None = None) -> list[Artifact]:
-        """All artifacts; the type filter (deprecated) is an O(N) scan."""
-        if type_name is None:
-            return list(self._artifacts.values())
-        _warn_scan("get_artifacts")
-        return [a for a in self._artifacts.values() if a.type_name == type_name]
+    def get_artifacts(self) -> list[Artifact]:
+        """All artifacts in id order."""
+        return list(self._artifacts.values())
 
-    @renamed_kwargs(execution_type="type_name")
-    def get_executions(self, type_name: str | None = None) -> list[Execution]:
-        """All executions; the type filter (deprecated) is an O(N) scan."""
-        if type_name is None:
-            return list(self._executions.values())
-        _warn_scan("get_executions")
-        return [e for e in self._executions.values()
-                if e.type_name == type_name]
+    def get_executions(self) -> list[Execution]:
+        """All executions in id order."""
+        return list(self._executions.values())
 
-    @renamed_kwargs(context_type="type_name")
-    def get_contexts(self, type_name: str | None = None) -> list[Context]:
-        """All contexts; the type filter (deprecated) is an O(N) scan."""
-        if type_name is None:
-            return list(self._contexts.values())
-        _warn_scan("get_contexts")
-        return [c for c in self._contexts.values() if c.type_name == type_name]
+    def get_contexts(self) -> list[Context]:
+        """All contexts in id order."""
+        return list(self._contexts.values())
 
     def get_artifact_by_name(self, type_name: str, name: str) -> Artifact:
         """Look up an artifact by its unique (type, name) pair."""

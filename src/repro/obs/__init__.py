@@ -11,6 +11,9 @@ package makes the reproduction emit its own. Three pieces:
   disabled path near-free.
 * :mod:`repro.obs.logging` — structured ``key=value`` logging on stdlib
   ``logging``.
+* :mod:`repro.obs.fleetwatch` — live fleet run status: worker heartbeat
+  files in the shard journal dir plus the driver-side reader behind
+  ``repro fleet-status``.
 * :mod:`repro.obs.provenance` — a :class:`TelemetrySink` persisting
   per-node / per-run telemetry *into the MLMD store*, keyed by
   execution id (queryable through the provenance graph).
@@ -44,6 +47,7 @@ from .metrics import (
 from .tracing import (
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
     get_tracer,
     set_tracer,
@@ -51,6 +55,11 @@ from .tracing import (
 )
 
 _LAZY_EXPORTS = {
+    "FleetStatus": "fleetwatch",
+    "ShardHeartbeat": "fleetwatch",
+    "ShardStatus": "fleetwatch",
+    "collect_fleet_status": "fleetwatch",
+    "render_fleet_status": "fleetwatch",
     "TelemetrySink": "provenance",
     "attach_sink": "provenance",
     "detach_sink": "provenance",
@@ -89,6 +98,7 @@ __all__ = [
     "Span",
     "StructuredLogger",
     "Timer",
+    "TraceContext",
     "Tracer",
     "configure_logging",
     "format_fields",

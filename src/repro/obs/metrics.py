@@ -198,6 +198,48 @@ class Histogram:
         return {"kind": "histogram", "name": self.name,
                 "labels": self.labels, **self.summary()}
 
+    def state(self) -> dict:
+        """Mergeable state: exact aggregates plus the reservoir.
+
+        Unlike :meth:`summary` (lossy percentiles), this is the
+        cross-process wire format — a worker ships its histogram state
+        home and the parent folds it with :meth:`merge_state` without
+        losing the exact count/sum/min/max.
+        """
+        with self._lock:
+            return {"kind": "histogram_state", "name": self.name,
+                    "labels": self.labels, "count": self.count,
+                    "sum": self.sum,
+                    "min": self.min if self.count else None,
+                    "max": self.max if self.count else None,
+                    "reservoir": list(self._reservoir)}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        count/sum/min/max fold exactly. The reservoirs merge by keeping
+        everything while both fit, then reservoir-sampling the overflow
+        — quantiles stay an approximation, as they already were.
+        """
+        incoming_count = int(state["count"])
+        if not incoming_count:
+            return
+        with self._lock:
+            self.count += incoming_count
+            self.sum += float(state["sum"])
+            if state["min"] is not None and float(state["min"]) < self.min:
+                self.min = float(state["min"])
+            if state["max"] is not None and float(state["max"]) > self.max:
+                self.max = float(state["max"])
+            for value in state.get("reservoir", ()):
+                value = float(value)
+                if len(self._reservoir) < self._reservoir_size:
+                    self._reservoir.append(value)
+                else:
+                    slot = self._rng.randrange(self.count)
+                    if slot < self._reservoir_size:
+                        self._reservoir[slot] = value
+
 
 class Timer:
     """Context manager recording elapsed seconds into a histogram."""
@@ -293,6 +335,41 @@ class MetricsRegistry:
         with Path(path).open("w") as handle:
             for record in self.snapshot():
                 handle.write(json.dumps(record) + "\n")
+
+    # ------------------------------------------------- cross-process fold
+
+    def state_records(self) -> list[dict]:
+        """Every instrument as a *mergeable* record (the worker → parent
+        wire format): counter/gauge export records plus
+        ``histogram_state`` records carrying reservoirs."""
+        out = [c.to_dict() for c in self._counters.values()]
+        out += [g.to_dict() for g in self._gauges.values()]
+        out += [h.state() for h in self._histograms.values()]
+        return out
+
+    def fold(self, records: list[dict]) -> None:
+        """Fold another registry's :meth:`state_records` into this one.
+
+        Counters add, gauges last-write-win, histogram states merge
+        exactly (see :meth:`Histogram.merge_state`). Zero-valued
+        counters are skipped so a worker that never touched an
+        instrument doesn't materialize it here. Unknown kinds are
+        ignored — older journal payloads stay loadable.
+        """
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("kind")
+            labels = record.get("labels") or {}
+            if kind == "counter":
+                if record["value"]:
+                    self.counter(record["name"], **labels).inc(
+                        record["value"])
+            elif kind == "gauge":
+                self.gauge(record["name"], **labels).set(record["value"])
+            elif kind == "histogram_state":
+                self.histogram(record["name"],
+                               **labels).merge_state(record)
 
     def reset(self) -> None:
         """Drop every instrument (tests and fresh CLI commands)."""

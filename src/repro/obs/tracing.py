@@ -17,6 +17,17 @@ Two implementations share the interface:
 Instrumented code calls the *module-level* :func:`span` helper (which
 reads the current global tracer on every call) so enabling tracing
 mid-process — as the CLI does — affects already-constructed objects.
+
+Cross-process propagation: a coordinator hands each worker a
+serializable :class:`TraceContext` (trace id + the span id the worker's
+spans should parent under). The worker installs a fresh
+``Tracer(context=...)``, records spans in its own clock domain, and the
+coordinator folds them back with :meth:`Tracer.adopt_spans`, which
+remaps span ids into the coordinator's id sequence, re-parents worker
+root spans under the context's root span, and rebases timestamps
+through each tracer's wall-clock ``epoch`` — producing one causally
+ordered timeline with no orphan spans (see DESIGN "Distributed
+tracing").
 """
 
 from __future__ import annotations
@@ -25,16 +36,49 @@ import contextvars
 import json
 import threading
 import time
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 __all__ = [
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
     "get_tracer",
     "set_tracer",
     "span",
 ]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The serializable link between a coordinator and a worker tracer.
+
+    Wire format (``to_dict`` / ``from_dict``, also how it pickles):
+
+    * ``trace_id`` — opaque id shared by every span of one distributed
+      run.
+    * ``root_span_id`` — the coordinator-side span id that the worker's
+      *root* spans (spans with no local parent) parent under once
+      adopted.
+    * ``worker`` — label stamped on every adopted span's attrs (e.g.
+      ``shard-0003``) so the merged timeline says who ran what.
+    """
+
+    trace_id: str
+    root_span_id: int
+    worker: str = ""
+
+    def to_dict(self) -> dict:
+        """The JSON wire format."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        """Rebuild a context from its wire format."""
+        return cls(trace_id=str(payload["trace_id"]),
+                   root_span_id=int(payload["root_span_id"]),
+                   worker=str(payload.get("worker", "")))
 
 
 class Span:
@@ -179,7 +223,7 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, context: TraceContext | None = None) -> None:
         self._finished: list[Span] = []
         self._current: contextvars.ContextVar[Span | None] = \
             contextvars.ContextVar("repro_obs_span", default=None)
@@ -188,6 +232,11 @@ class Tracer:
         # parent chain per thread, and list.append is atomic under the
         # GIL, so ids are the only cross-thread mutable state.
         self._id_lock = threading.Lock()
+        self.context = context
+        # Span times are ``perf_counter`` readings — meaningless across
+        # processes. The epoch anchors this tracer's perf domain to the
+        # wall clock so adoption can rebase: wall = perf + epoch.
+        self.epoch = time.time() - time.perf_counter()
 
     def _next_id(self) -> int:
         with self._id_lock:
@@ -220,13 +269,69 @@ class Tracer:
         """Closed spans, in completion order (children before parents)."""
         return list(self._finished)
 
+    def span_records(self) -> list[dict]:
+        """Finished spans as plain dicts — the shape workers ship home."""
+        return [finished.to_dict() for finished in self._finished]
+
+    def adopt_spans(self, records: list[dict], *, epoch: float | None = None,
+                    default_parent_id: int | None = None,
+                    worker: str = "") -> int:
+        """Fold span records from another tracer into this one.
+
+        Two-pass id remap: every foreign span gets a fresh id from this
+        tracer's sequence (foreign ids collide — every worker counts
+        from 1), then parents are rewritten through the map. Foreign
+        *root* spans (no parent, or a parent not in the batch) parent
+        under ``default_parent_id`` so the merged timeline has no
+        orphans. When ``epoch`` (the foreign tracer's wall-clock anchor)
+        is given, start/end are rebased into this tracer's perf domain;
+        ``worker`` is stamped into each span's attrs. Returns the number
+        of spans adopted.
+        """
+        id_map: dict[int, int] = {}
+        for record in records:
+            id_map[int(record["span_id"])] = self._next_id()
+        shift = 0.0
+        if epoch is not None:
+            shift = epoch - self.epoch
+        for record in records:
+            attrs = dict(record.get("attrs") or {})
+            if worker:
+                attrs["worker"] = worker
+            foreign_parent = record.get("parent_id")
+            if foreign_parent is not None and int(foreign_parent) in id_map:
+                parent_id = id_map[int(foreign_parent)]
+            else:
+                parent_id = default_parent_id
+            adopted = Span(record["name"],
+                           id_map[int(record["span_id"])],
+                           parent_id,
+                           float(record["start"]) + shift,
+                           attrs)
+            adopted.end = float(record["end"]) + shift
+            if record.get("error") is not None:
+                adopted.error = str(record["error"])
+            self._finished.append(adopted)
+        return len(records)
+
     def reset(self) -> None:
         """Drop recorded spans (the id sequence keeps counting)."""
         self._finished.clear()
 
     def export_jsonl(self, path: str | Path) -> None:
-        """Write one JSON object per finished span to ``path``."""
+        """Write one JSON object per finished span to ``path``.
+
+        When the tracer carries a :class:`TraceContext` the first line
+        is a ``trace_header`` record naming the trace, the worker, and
+        this tracer's epoch — everything the coordinator needs to adopt
+        the spans that follow. Consumers that only understand spans
+        (``repro telemetry``) skip unknown kinds.
+        """
         with Path(path).open("w") as handle:
+            if self.context is not None:
+                header = {"kind": "trace_header", "epoch": self.epoch,
+                          **self.context.to_dict()}
+                handle.write(json.dumps(header) + "\n")
             for finished in self._finished:
                 handle.write(json.dumps(finished.to_dict()) + "\n")
 

@@ -2,7 +2,8 @@
 
 from .ascii_plots import bar_chart, curve, histogram
 from .tables import format_table, paper_vs_measured
-from .trace_viz import render_graphlet, render_trace
+from .trace_viz import (render_graphlet, render_span_timeline,
+                        render_trace)
 
 __all__ = [
     "bar_chart",
@@ -11,5 +12,6 @@ __all__ = [
     "histogram",
     "paper_vs_measured",
     "render_graphlet",
+    "render_span_timeline",
     "render_trace",
 ]

@@ -6,12 +6,100 @@ the text equivalent: one line per node in temporal order, with arrows
 naming each execution's inputs and outputs. Intended for small traces
 (the quickstart) and for debugging individual pipelines; large traces
 should go through :func:`repro.mlmd.summarize_by_type` instead.
+
+:func:`render_span_timeline` is the same idea applied to *observability*
+spans (``--trace-out`` exports): the causally ordered tree of a run,
+including spans adopted from fleet workers (labelled with their
+``worker`` attribute), rendered via ``repro telemetry --timeline``.
 """
 
 from __future__ import annotations
 
 from ..mlmd import ExecutionState, MetadataStore
 from ..query import as_client
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1000.0:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_span_timeline(records: list[dict],
+                         max_spans: int = 400) -> str:
+    """Render exported span records as an indented, causal timeline.
+
+    One line per span, children indented under parents, siblings in
+    start order; offsets are relative to the earliest span. Spans
+    adopted from fleet workers carry a ``worker`` attr, shown in
+    brackets::
+
+          0.000s fleet.run 4.72s
+          0.002s   fleet.plan 1.1ms
+          0.004s   fleet.simulate 4.34s
+          0.051s     fleet.shard 1.39s [shard-0000]
+          ...
+
+    Tolerant of partial exports: non-span records (headers, metrics)
+    and malformed lines are skipped; a span whose parent is missing
+    from the file renders as a root.
+    """
+    spans = []
+    for record in records:
+        if not isinstance(record, dict) or record.get("kind") != "span":
+            continue
+        try:
+            float(record["start"])
+            int(record["span_id"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        spans.append(record)
+    if not spans:
+        return "(no spans)"
+    ids = {int(r["span_id"]) for r in spans}
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent is not None and int(parent) in ids:
+            children.setdefault(int(parent), []).append(record)
+        else:
+            roots.append(record)
+    origin = min(float(r["start"]) for r in spans)
+    lines: list[str] = []
+    truncated = 0
+
+    def walk(record: dict, depth: int) -> None:
+        nonlocal truncated
+        if len(lines) >= max_spans:
+            truncated += 1
+            return
+        start = float(record["start"])
+        duration = max(0.0, float(record.get("end", start)) - start)
+        worker = (record.get("attrs") or {}).get("worker")
+        error = record.get("error")
+        line = (f"{start - origin:9.3f}s {'  ' * depth}"
+                f"{record.get('name', '-')} {_fmt_seconds(duration)}")
+        if worker:
+            line += f" [{worker}]"
+        if error:
+            line += f" !{error}"
+        lines.append(line)
+        for child in sorted(children.get(int(record["span_id"]), []),
+                            key=lambda r: (float(r["start"]),
+                                           int(r["span_id"]))):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda r: (float(r["start"]),
+                                             int(r["span_id"]))):
+        walk(root, 0)
+    if truncated or len(lines) >= max_spans:
+        hidden = len(spans) - len(lines)
+        if hidden > 0:
+            lines.append(f"... {hidden} more spans")
+    return "\n".join(lines)
 
 
 def _artifact_label(store: MetadataStore, artifact_id: int) -> str:

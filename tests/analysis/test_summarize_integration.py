@@ -11,7 +11,8 @@ class TestCorpusTraceQueries:
         """Every pushed model must be reachable from at least one span —
         the chain quickstart prints, asserted corpus-wide."""
         store = small_corpus.store
-        pushed = store.get_artifacts("PushedModel")[:20]
+        pushed = [a for a in store.get_artifacts()
+                  if a.type_name == "PushedModel"][:20]
         for artifact in pushed:
             # Walk backwards: pusher → model → trainer → spans.
             pusher = store.get_execution(

@@ -170,7 +170,8 @@ class TestRunnerReplay:
         # Replay still produces *new* artifacts with the original's
         # content, never aliases into a previous run's outputs.
         (first_id,) = store.get_output_artifact_ids(
-            min(store.get_executions("StatisticsGen"),
+            min((e for e in store.get_executions()
+                 if e.type_name == "StatisticsGen"),
                 key=lambda e: e.id).id)
         assert artifact_id != first_id
 

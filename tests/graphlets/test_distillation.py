@@ -40,8 +40,8 @@ class TestDistillationSegmentation:
     def test_student_flagged_distilled_not_warmstarted(
             self, distilled_corpus):
         store = distilled_corpus.store
-        distilled = [a for a in store.get_artifacts("Model")
-                     if a.get("distilled")]
+        distilled = [a for a in store.get_artifacts()
+                     if a.type_name == "Model" and a.get("distilled")]
         assert distilled
         assert all(not a.get("warm_started") for a in distilled)
 

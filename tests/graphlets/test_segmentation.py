@@ -137,7 +137,8 @@ class TestSegmentation:
 
     def test_segment_requires_trainer(self, rng):
         store, runner = _run_pipeline(rng)
-        gen = store.get_executions("ExampleGen")[0]
+        gen = next(e for e in store.get_executions()
+                   if e.type_name == "ExampleGen")
         with pytest.raises(ValueError):
             segment_trainer(store, gen.id, runner.context_id)
 

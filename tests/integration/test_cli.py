@@ -302,6 +302,97 @@ class TestFleetCLI:
         assert saved[0] == saved[1].replace(str(triple), str(single))
 
 
+class TestFleetObservability:
+    def test_trace_out_merges_worker_spans(self, tmp_path, capsys):
+        out = tmp_path / "fleet.db"
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["generate", "--pipelines", "6", "--seed", "11",
+                     "--max-graphlets", "8", "--workers", "2",
+                     "--out", str(out), "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        assert "worker spans merged under the run span" in \
+            capsys.readouterr().out
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        spans = [r for r in records if r.get("kind") == "span"]
+        ids = {r["span_id"] for r in spans}
+        # Worker-side spans (stamped with their shard label) all
+        # resolve to parents inside the one merged timeline.
+        workers = {r["attrs"].get("worker") for r in spans
+                   if r["attrs"].get("worker")}
+        assert workers == {"shard-0000", "shard-0001"}
+        for record in spans:
+            if record["attrs"].get("worker"):
+                assert record["parent_id"] in ids
+        assert any(r["name"] == "fleet.run" for r in spans)
+        # The folded registry carries worker-side instruments.
+        metric_records = [json.loads(line)
+                          for line in metrics.read_text().splitlines()]
+        pipeline_seconds = next(
+            r for r in metric_records
+            if r.get("name") == "corpus.pipeline_seconds")
+        assert pipeline_seconds["count"] == 6
+
+    def test_timeline_renders_merged_trace(self, tmp_path, capsys):
+        out = tmp_path / "fleet.db"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["generate", "--pipelines", "4", "--seed", "3",
+                     "--max-graphlets", "8", "--workers", "2",
+                     "--out", str(out), "--trace-out",
+                     str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(trace), "--timeline"]) == 0
+        timeline = capsys.readouterr().out
+        assert "fleet.run" in timeline
+        assert "[shard-0000]" in timeline
+        assert "(no spans)" not in timeline
+
+
+class TestFleetStatusCLI:
+    def test_absent_journal_exits_cleanly(self, tmp_path, capsys):
+        assert main(["fleet-status",
+                     str(tmp_path / "never-ran.db")]) == 0
+        out = capsys.readouterr().out
+        assert "no fleet journal" in out
+
+    def test_completed_run_cleans_up_its_journal(self, tmp_path,
+                                                 capsys):
+        out = tmp_path / "done.db"
+        assert main(["generate", "--pipelines", "4", "--seed", "3",
+                     "--max-graphlets", "8", "--workers", "2",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["fleet-status", str(out)]) == 0
+        assert "no fleet journal" in capsys.readouterr().out
+
+    def test_interrupted_run_renders_status(self, tmp_path, capsys):
+        out = tmp_path / "crashed.db"
+        code = main(["generate", "--pipelines", "6", "--seed", "11",
+                     "--max-graphlets", "8", "--workers", "3",
+                     "--fault-plan", "worker_crash:1",
+                     "--out", str(out)])
+        assert code == 3  # partial run
+        assert "repro fleet-status" in capsys.readouterr().out
+        assert main(["fleet-status", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "failed" in rendered
+        assert "--resume" in rendered
+        # --json emits the machine shape; the .shards dir works too.
+        assert main(["fleet-status", str(out) + ".shards",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["needs_resume"]
+        assert payload["counts"].get("failed") == 1
+
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["fleet-status", "x.db", "--json", "--stall-after", "5"])
+        assert args.json
+        assert args.stall_after == 5.0
+        assert args.watch is None
+
+
 def _dump(path):
     import sqlite3
     conn = sqlite3.connect(path)

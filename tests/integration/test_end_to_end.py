@@ -35,8 +35,9 @@ class TestFullStack:
         context = small_corpus.production_context_ids[0]
         original = segment_pipeline(small_corpus.store, context)
         reloaded_context = next(
-            c.id for c in loaded_store.get_contexts("Pipeline")
-            if c.name == small_corpus.store.get_context(context).name)
+            c.id for c in loaded_store.get_contexts()
+            if c.type_name == "Pipeline"
+            and c.name == small_corpus.store.get_context(context).name)
         reloaded = segment_pipeline(loaded_store, reloaded_context)
         assert len(original) == len(reloaded)
         assert [g.pushed for g in original] == [g.pushed for g in reloaded]
@@ -70,7 +71,9 @@ class TestFullStack:
 
     def test_every_model_has_producing_trainer(self, small_corpus):
         store = small_corpus.store
-        for artifact in store.get_artifacts("Model")[:200]:
+        models = [a for a in store.get_artifacts()
+                  if a.type_name == "Model"]
+        for artifact in models[:200]:
             producers = store.get_producer_execution_ids(artifact.id)
             assert len(producers) == 1
             assert store.get_execution(
@@ -79,7 +82,8 @@ class TestFullStack:
     def test_every_pushed_model_chain(self, small_corpus):
         """PushedModel → Pusher → Model → Trainer chain must exist."""
         store = small_corpus.store
-        pushed = store.get_artifacts("PushedModel")
+        pushed = [a for a in store.get_artifacts()
+                  if a.type_name == "PushedModel"]
         assert pushed
         for artifact in pushed[:50]:
             pusher = store.get_execution(

@@ -1,9 +1,11 @@
-"""Deprecated store entry points: still working, loudly warning.
+"""The deprecation window is closed: removed surfaces stay removed.
 
-The one-release compatibility window (DESIGN 6.x): store-side
-type-filtered scans and the old ``*_type=`` keyword spellings keep
-returning correct results but emit ``DeprecationWarning`` naming the
-replacement. Removal is the next release; these tests pin the window.
+Store-side type-filtered scans (``get_artifacts("Model")``) and the
+pre-unification ``*_type=`` keyword spellings went through their
+one-release ``DeprecationWarning`` window (DESIGN 6.x) and are gone.
+These tests pin the removal on both backends: the old spellings raise
+``TypeError``, and the surviving unfiltered bulk reads are warning-free.
+Filtered reads live in :class:`repro.query.MetadataClient`.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ import pytest
 
 from repro.mlmd import MetadataStore, SqliteStore
 from repro.mlmd.types import Artifact, Context, Execution
+from repro.query import as_client
 
 
 @pytest.fixture(params=["memory", "sqlite"])
@@ -33,19 +36,27 @@ def populated(store):
     return store
 
 
-def test_type_filtered_scans_warn_but_work(populated):
-    with pytest.warns(DeprecationWarning, match="MetadataClient"):
-        artifacts = populated.get_artifacts("Model")
-    assert [a.type_name for a in artifacts] == ["Model"]
-    with pytest.warns(DeprecationWarning, match="MetadataClient"):
-        executions = populated.get_executions("Trainer")
-    assert [e.type_name for e in executions] == ["Trainer"]
-    with pytest.warns(DeprecationWarning, match="MetadataClient"):
-        contexts = populated.get_contexts("Pipeline")
-    assert [c.name for c in contexts] == ["p-0"]
+def test_type_filtered_scans_are_gone(populated):
+    with pytest.raises(TypeError):
+        populated.get_artifacts("Model")
+    with pytest.raises(TypeError):
+        populated.get_executions("Trainer")
+    with pytest.raises(TypeError):
+        populated.get_contexts("Pipeline")
 
 
-def test_unfiltered_scans_do_not_warn(populated, recwarn):
+def test_old_kwarg_spellings_are_gone(populated):
+    with pytest.raises(TypeError):
+        populated.get_artifacts(artifact_type="Model")
+    with pytest.raises(TypeError):
+        populated.get_executions(execution_type="Trainer")
+    with pytest.raises(TypeError):
+        populated.get_contexts(context_type="Pipeline")
+    with pytest.raises(TypeError):
+        populated.get_artifacts(type_name="Model")
+
+
+def test_unfiltered_scans_survive_warning_free(populated, recwarn):
     assert len(populated.get_artifacts()) == 2
     assert len(populated.get_executions()) == 1
     assert len(populated.get_contexts()) == 1
@@ -53,18 +64,10 @@ def test_unfiltered_scans_do_not_warn(populated, recwarn):
                 if issubclass(w.category, DeprecationWarning)]
 
 
-def test_old_kwarg_spellings_warn_with_replacement(populated):
-    with pytest.warns(DeprecationWarning, match="type_name"):
-        artifacts = populated.get_artifacts(artifact_type="Model")
-    assert [a.type_name for a in artifacts] == ["Model"]
-    with pytest.warns(DeprecationWarning, match="type_name"):
-        executions = populated.get_executions(execution_type="Trainer")
-    assert [e.type_name for e in executions] == ["Trainer"]
-    with pytest.warns(DeprecationWarning, match="type_name"):
-        contexts = populated.get_contexts(context_type="Pipeline")
-    assert [c.name for c in contexts] == ["p-0"]
-
-
-def test_both_spellings_is_an_error(populated):
-    with pytest.raises(TypeError, match="both"):
-        populated.get_artifacts(type_name="Model", artifact_type="Model")
+def test_client_is_the_filtered_replacement(populated):
+    client = as_client(populated)
+    assert [a.type_name
+            for a in client.get_artifacts("Model")] == ["Model"]
+    assert [e.type_name
+            for e in client.get_executions("Trainer")] == ["Trainer"]
+    assert [c.name for c in client.get_contexts("Pipeline")] == ["p-0"]

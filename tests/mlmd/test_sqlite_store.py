@@ -64,7 +64,8 @@ class TestRoundTrip:
         path = tmp_path / "trace.db"
         save_store(populated_store, path)
         loaded = load_store(path)
-        trainer = loaded.get_executions("Trainer")[0]
+        trainer = next(e for e in loaded.get_executions()
+                       if e.type_name == "Trainer")
         assert trainer.state is ExecutionState.COMPLETE
         assert trainer.duration == pytest.approx(2.5)
         assert trainer.get("cpu_hours") == pytest.approx(7.25)
@@ -73,7 +74,8 @@ class TestRoundTrip:
         path = tmp_path / "trace.db"
         save_store(populated_store, path)
         loaded = load_store(path)
-        trainer = loaded.get_executions("Trainer")[0]
+        trainer = next(e for e in loaded.get_executions()
+                       if e.type_name == "Trainer")
         inputs = loaded.get_input_artifacts(trainer.id)
         outputs = loaded.get_output_artifacts(trainer.id)
         assert [a.type_name for a in inputs] == ["DataSpan"]
@@ -83,7 +85,8 @@ class TestRoundTrip:
         path = tmp_path / "trace.db"
         save_store(populated_store, path)
         loaded = load_store(path)
-        context = loaded.get_contexts("Pipeline")[0]
+        context = next(c for c in loaded.get_contexts()
+                       if c.type_name == "Pipeline")
         assert context.get("team") == "ads" or \
             context.properties.get("team") == "ads"
         assert len(loaded.get_artifacts_by_context(context.id)) == 2
@@ -106,7 +109,8 @@ class TestRoundTrip:
         path = tmp_path / "trace.db"
         save_store(store, path)
         loaded = load_store(path)
-        failed, final = loaded.get_executions("Trainer")
+        failed, final = [e for e in loaded.get_executions()
+                         if e.type_name == "Trainer"]
         assert final.get("retry_of") == failed.id
 
 
@@ -272,7 +276,8 @@ class TestSalvage:
         raw.commit()
         raw.close()
         salvaged, _ = salvage_store(path)
-        survivor = salvaged.get_executions("Trainer")[0]
+        survivor = next(e for e in salvaged.get_executions()
+                        if e.type_name == "Trainer")
         # The chain head is gone; the stale pointer must not survive.
         assert survivor.get("retry_of") is None
         assert survivor.get("attempt") == 2

@@ -140,7 +140,8 @@ class TestImpactSet:
 
     def test_corpus_span_impacts_models(self, small_corpus):
         store = small_corpus.store
-        span = store.get_artifacts("DataSpan")[0]
+        span = next(a for a in store.get_artifacts()
+                    if a.type_name == "DataSpan")
         models = impact_set(store, artifact_node(span.id),
                             artifact_type="Model")
         # The first span feeds at least one trained model via its window.

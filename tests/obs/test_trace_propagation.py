@@ -1,0 +1,184 @@
+"""Cross-process trace propagation: contexts, adoption, state folding.
+
+The fleet coordinator hands each worker a serializable
+:class:`TraceContext`; the worker records spans against its own tracer
+and ships the records home, where :meth:`Tracer.adopt_spans` folds them
+under the coordinator's run span (fresh ids, rebased clocks, worker
+labels). Metrics ride the same pattern via ``state_records`` /
+``fold``. These tests pin the wire formats and merge semantics the
+fleet relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceContext, Tracer
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id="abc123", root_span_id=7,
+                           worker="shard-0003")
+        clone = TraceContext.from_dict(
+            json.loads(json.dumps(ctx.to_dict())))
+        assert clone == ctx
+
+    def test_worker_defaults_empty(self):
+        ctx = TraceContext.from_dict({"trace_id": "t", "root_span_id": 1})
+        assert ctx.worker == ""
+
+
+class TestExportHeader:
+    def test_context_tracer_writes_trace_header_first(self, tmp_path):
+        tracer = Tracer(context=TraceContext("t1", 9, "shard-0000"))
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        tracer.export_jsonl(path)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "trace_header"
+        assert lines[0]["trace_id"] == "t1"
+        assert lines[0]["root_span_id"] == 9
+        assert lines[0]["worker"] == "shard-0000"
+        assert lines[0]["epoch"] == pytest.approx(tracer.epoch)
+        assert [r["kind"] for r in lines[1:]] == ["span"]
+
+    def test_plain_tracer_writes_no_header(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        tracer.export_jsonl(path)
+        kinds = [json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()]
+        assert kinds == ["span"]
+
+
+class TestAdoptSpans:
+    def worker_records(self):
+        worker = Tracer()
+        with worker.span("shard", index=3):
+            with worker.span("pipeline"):
+                pass
+        return worker, worker.span_records()
+
+    def test_ids_remapped_and_roots_reparented(self):
+        coordinator = Tracer()
+        with coordinator.span("run") as run_span:
+            pass
+        _, records = self.worker_records()
+        adopted = coordinator.adopt_spans(
+            records, default_parent_id=run_span.span_id,
+            worker="shard-0003")
+        assert adopted == 2
+        spans = {s.name: s for s in coordinator.finished_spans()}
+        # The worker's root now parents under the coordinator's run.
+        assert spans["shard"].parent_id == run_span.span_id
+        # Internal parent/child structure survives the id remap ...
+        assert spans["pipeline"].parent_id == spans["shard"].span_id
+        # ... with fresh ids from the coordinator's sequence.
+        ids = {s.span_id for s in coordinator.finished_spans()}
+        assert len(ids) == 3
+
+    def test_colliding_worker_ids_stay_distinct(self):
+        coordinator = Tracer()
+        with coordinator.span("run") as run_span:
+            pass
+        # Two workers both count span ids from 1.
+        _, first = self.worker_records()
+        _, second = self.worker_records()
+        assert {r["span_id"] for r in first} == \
+            {r["span_id"] for r in second}
+        coordinator.adopt_spans(first,
+                                default_parent_id=run_span.span_id,
+                                worker="shard-0000")
+        coordinator.adopt_spans(second,
+                                default_parent_id=run_span.span_id,
+                                worker="shard-0001")
+        ids = [s.span_id for s in coordinator.finished_spans()]
+        assert len(ids) == len(set(ids)) == 5
+
+    def test_epoch_rebases_clocks(self):
+        coordinator = Tracer()
+        worker, records = self.worker_records()
+        # Simulate a worker whose perf_counter domain is 1000s offset.
+        foreign_epoch = worker.epoch + 1000.0
+        coordinator.adopt_spans(records, epoch=foreign_epoch)
+        shard = next(s for s in coordinator.finished_spans()
+                     if s.name == "shard")
+        original = next(r for r in records if r["name"] == "shard")
+        expected_shift = foreign_epoch - coordinator.epoch
+        assert shard.start == pytest.approx(
+            original["start"] + expected_shift)
+        assert shard.duration == pytest.approx(original["duration"])
+
+    def test_worker_label_and_error_preserved(self):
+        worker = Tracer()
+        with pytest.raises(ValueError):
+            with worker.span("boom"):
+                raise ValueError("no")
+        coordinator = Tracer()
+        coordinator.adopt_spans(worker.span_records(),
+                                worker="shard-0007")
+        (adopted,) = coordinator.finished_spans()
+        assert adopted.attrs["worker"] == "shard-0007"
+        assert adopted.error == "ValueError"
+
+    def test_unknown_parent_falls_back_to_default(self):
+        coordinator = Tracer()
+        records = [{"kind": "span", "name": "dangling", "span_id": 5,
+                    "parent_id": 99, "start": 0.0, "end": 1.0,
+                    "attrs": {}}]
+        coordinator.adopt_spans(records, default_parent_id=42)
+        (adopted,) = coordinator.finished_spans()
+        assert adopted.parent_id == 42
+
+
+class TestMetricsFold:
+    def test_counter_and_gauge_fold(self):
+        worker = MetricsRegistry()
+        worker.counter("pipelines", shard="0").inc(4)
+        worker.gauge("rss_mb").set(123.0)
+        coordinator = MetricsRegistry()
+        coordinator.counter("pipelines", shard="0").inc(1)
+        coordinator.fold(worker.state_records())
+        assert coordinator.counter("pipelines", shard="0").value == 5
+        assert coordinator.gauge("rss_mb").value == 123.0
+
+    def test_histogram_fold_is_exact_for_summary_stats(self):
+        coordinator = MetricsRegistry()
+        workers = []
+        values = []
+        for shard in range(3):
+            registry = MetricsRegistry()
+            for i in range(10):
+                value = shard * 10.0 + i
+                registry.histogram("latency").record(value)
+                values.append(value)
+            workers.append(registry)
+        for registry in workers:
+            coordinator.fold(registry.state_records())
+        folded = coordinator.histogram("latency")
+        assert folded.count == 30
+        assert folded.sum == pytest.approx(sum(values))
+        assert folded.min == min(values)
+        assert folded.max == max(values)
+
+    def test_fold_skips_unknown_kinds(self):
+        coordinator = MetricsRegistry()
+        coordinator.fold([{"kind": "trace_header", "epoch": 0.0},
+                          {"kind": "mystery"}])
+        assert coordinator.snapshot() == []
+
+    def test_state_records_survive_json(self):
+        worker = MetricsRegistry()
+        worker.histogram("h").record(1.0)
+        worker.counter("c").inc()
+        records = json.loads(json.dumps(worker.state_records()))
+        coordinator = MetricsRegistry()
+        coordinator.fold(records)
+        assert coordinator.histogram("h").count == 1
+        assert coordinator.counter("c").value == 1
