@@ -9,6 +9,13 @@ to free. Two comparisons:
 * **real tracer + metrics export** vs the no-op path — the cost of
   actually recording every run/node span.
 
+The instrumented configurations run the *full* observatory: per-span
+resource attribution (``Tracer(resources=True)`` — CPU-clock and
+peak-RSS probes on every context-manager span, plus the runtime's
+per-node CPU capture) and a live :class:`ResourceSampler` thread, so
+the ≤5% gate covers everything this PR's resource observatory adds,
+not just the original counters.
+
 The gate is ≤5% (with a small absolute epsilon to absorb timer noise on
 a workload of a few seconds); each configuration takes the best of
 three runs, which filters scheduler hiccups.
@@ -24,6 +31,7 @@ from repro.fleet import generate_corpus_fleet
 from repro.obs import (
     MetricsRegistry,
     NullTracer,
+    ResourceSampler,
     Tracer,
     set_registry,
     set_tracer,
@@ -59,8 +67,9 @@ def test_instrumentation_overhead(tmp_path):
     # so background-load drift hits both equally, and take the best of
     # each — pairing them back-to-back is what makes a 5% gate tight
     # enough to assert on a shared machine.
-    tracer = Tracer()
+    tracer = Tracer(resources=True)
     registry = MetricsRegistry()
+    sampler = ResourceSampler(registry=registry)
     noop_seconds = float("inf")
     instrumented_seconds = float("inf")
     try:
@@ -71,8 +80,12 @@ def test_instrumentation_overhead(tmp_path):
 
             set_registry(registry)
             set_tracer(tracer)
-            instrumented_seconds = min(instrumented_seconds,
-                                       _one_generation_seconds())
+            sampler.start()
+            try:
+                instrumented_seconds = min(instrumented_seconds,
+                                           _one_generation_seconds())
+            finally:
+                sampler.stop()
         # Export happens once per CLI command, not per run — time it
         # separately rather than folding it into the per-run gate.
         export_start = time.perf_counter()
@@ -90,7 +103,7 @@ def test_instrumentation_overhead(tmp_path):
     emit("obs overhead — corpus generation (20 pipelines, best of "
          f"{REPEATS}, interleaved)\n"
          f"  no-op tracer     : {noop_seconds:8.3f} s\n"
-         f"  tracer + metrics : {instrumented_seconds:8.3f} s "
+         f"  full observatory : {instrumented_seconds:8.3f} s "
          f"({n_spans} spans, {len(exported)} instruments)\n"
          f"  jsonl export     : {export_seconds:8.3f} s\n"
          f"  overhead         : {overhead:8.3f}x "
@@ -123,8 +136,9 @@ def test_fleet_instrumentation_overhead():
                                        max_graphlets_per_pipeline=4),
                           workers=2, in_process=True)
 
-    tracer = Tracer()
+    tracer = Tracer(resources=True)
     registry = MetricsRegistry()
+    sampler = ResourceSampler(registry=registry)
     noop_seconds = float("inf")
     instrumented_seconds = float("inf")
     try:
@@ -136,8 +150,13 @@ def test_fleet_instrumentation_overhead():
 
             set_registry(registry)
             set_tracer(tracer)
-            instrumented_seconds = min(
-                instrumented_seconds, _one_fleet_generation_seconds())
+            sampler.start()
+            try:
+                instrumented_seconds = min(
+                    instrumented_seconds,
+                    _one_fleet_generation_seconds())
+            finally:
+                sampler.stop()
     finally:
         set_tracer(NullTracer())
         set_registry(MetricsRegistry())
@@ -149,7 +168,7 @@ def test_fleet_instrumentation_overhead():
     emit("obs overhead — fleet generation (20 pipelines, 2 in-process "
          f"workers, best of {REPEATS}, interleaved)\n"
          f"  no-op tracer     : {noop_seconds:8.3f} s\n"
-         f"  tracer + metrics : {instrumented_seconds:8.3f} s "
+         f"  full observatory : {instrumented_seconds:8.3f} s "
          f"({n_spans} spans, {adopted} adopted from workers)\n"
          f"  overhead         : {overhead:8.3f}x "
          f"(gate {MAX_OVERHEAD:.2f}x)")

@@ -1,0 +1,211 @@
+"""The BENCH_scale trajectory: throughput/RSS/allocation vs corpus scale.
+
+The paper's corpus is 3000 pipelines / 7.7M executions; the ROADMAP's
+#1 open item is getting this reproduction there. This bench is the
+observability substrate for that climb: it walks a trajectory of scale
+rungs (1k → 10k → 50k executions by default) and records, per rung and
+per stage (generate → segment → waste_dataset):
+
+* **throughput** — executions, graphlets, or dataset rows per second,
+  measured on an untraced pass so the numbers are honest;
+* **peak RSS** — via :func:`repro.obs.resources`; note ``ru_maxrss``
+  is process-cumulative, so within one bench process the trajectory's
+  peak column is monotone by construction (the current-RSS column is
+  not);
+* **top allocation sites** — a *second* pass per rung runs every stage
+  under :mod:`tracemalloc` and diffs snapshots around each stage; the
+  traced pass's timings are discarded (tracemalloc costs ~2x, and
+  mixing traced timings into throughput would poison the trend).
+
+The result is ``benchmarks/results/BENCH_scale.json`` — the file every
+later scale PR gates against: if a change moves generate throughput or
+the allocation profile, the trajectory says where and at which scale.
+
+Scale via ``REPRO_BENCH_SCALE_TARGETS`` (comma-separated execution
+targets; CI's scale-smoke runs just the 1k rung).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import os
+import tracemalloc
+from pathlib import Path
+
+from repro.analysis import segment_production_pipelines
+from repro.corpus import CorpusConfig
+from repro.fleet import generate_corpus_fleet
+from repro.obs.resources import current_rss_mb, peak_rss_mb
+from repro.waste import build_waste_dataset
+from time import perf_counter
+
+from conftest import emit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+DEFAULT_TARGETS = "1000,10000,50000"
+SEED = 13
+TOP_ALLOC_SITES = 5
+#: Pipelines used to estimate executions-per-pipeline before scaling.
+#: Big enough that a couple of outlier draws don't skew the estimate
+#: (per-pipeline counts vary ~3x around the mean).
+PROBE_PIPELINES = 8
+
+
+def _config(n_pipelines: int) -> CorpusConfig:
+    return CorpusConfig(n_pipelines=n_pipelines, seed=SEED,
+                        max_graphlets_per_pipeline=40,
+                        max_window_spans=20)
+
+
+def _short_site(filename: str, lineno: int) -> str:
+    parts = filename.replace("\\", "/").rsplit("/", 2)
+    return "/".join(parts[-2:]) + f":{lineno}"
+
+
+def _top_allocations(previous: tracemalloc.Snapshot,
+                     current: tracemalloc.Snapshot) -> list[dict]:
+    """The stage's heaviest net-allocating source lines."""
+    stats = current.compare_to(previous, "lineno")
+    growers = [s for s in stats if s.size_diff > 0]
+    growers.sort(key=lambda s: -s.size_diff)
+    return [{
+        "site": _short_site(frame.filename, frame.lineno),
+        "size_kb": round(stat.size_diff / 1024.0, 1),
+        "count": stat.count_diff,
+    } for stat in growers[:TOP_ALLOC_SITES]
+        for frame in [stat.traceback[0]]]
+
+
+def _run_stages(config: CorpusConfig):
+    """One full pass: generate → segment → waste dataset.
+
+    Yields ``(stage_name, wall_seconds, units_processed, unit_label)``
+    as each stage completes, so the caller can interleave resource /
+    allocation snapshots between stages.
+    """
+    started = perf_counter()
+    corpus, _ = generate_corpus_fleet(config, workers=1)
+    executions = corpus.store.num_executions
+    yield "generate", perf_counter() - started, executions, "executions"
+
+    started = perf_counter()
+    graphlets = segment_production_pipelines(corpus)
+    n_graphlets = sum(len(g) for g in graphlets.values())
+    yield ("segment", perf_counter() - started, n_graphlets,
+           "graphlets")
+
+    started = perf_counter()
+    dataset = build_waste_dataset(graphlets)
+    yield ("waste_dataset", perf_counter() - started, dataset.n_rows,
+           "rows")
+
+
+def _measure_rung(target: int, execs_per_pipeline: float) -> dict:
+    n_pipelines = max(1, math.ceil(target / execs_per_pipeline))
+    config = _config(n_pipelines)
+    gc.collect()
+
+    # Pass 1 (untraced): the timings that go on record.
+    stages: dict[str, dict] = {}
+    executions = 0
+    for name, wall, units, unit_label in _run_stages(config):
+        if name == "generate":
+            executions = units
+        stages[name] = {
+            "wall_seconds": round(wall, 4),
+            unit_label: units,
+            "throughput": round(units / wall, 1) if wall > 0 else 0.0,
+            "throughput_unit": f"{unit_label}/s",
+            "peak_rss_mb": peak_rss_mb(),
+            "current_rss_mb": current_rss_mb(),
+        }
+
+    # Pass 2 (traced): same stages under tracemalloc, keeping only the
+    # per-stage allocation diffs.
+    gc.collect()
+    tracemalloc.start()
+    try:
+        snapshot = tracemalloc.take_snapshot()
+        for name, _, _, _ in _run_stages(config):
+            current = tracemalloc.take_snapshot()
+            stages[name]["top_allocations"] = _top_allocations(
+                snapshot, current)
+            snapshot = current
+    finally:
+        tracemalloc.stop()
+
+    return {
+        "target_executions": target,
+        "pipelines": n_pipelines,
+        "executions": executions,
+        "peak_rss_mb": peak_rss_mb(),
+        "stages": stages,
+    }
+
+
+def test_scale_trajectory():
+    targets = [int(t) for t in
+               os.environ.get("REPRO_BENCH_SCALE_TARGETS",
+                              DEFAULT_TARGETS).split(",") if t.strip()]
+    assert targets, "REPRO_BENCH_SCALE_TARGETS resolved to no rungs"
+
+    # Calibrate executions-per-pipeline once; the simulator's execution
+    # count per pipeline depends only on the config, not the rung.
+    probe, _ = generate_corpus_fleet(_config(PROBE_PIPELINES), workers=1)
+    execs_per_pipeline = probe.store.num_executions / PROBE_PIPELINES
+    del probe
+    gc.collect()
+
+    rungs = [_measure_rung(target, execs_per_pipeline)
+             for target in sorted(targets)]
+
+    payload = {
+        "seed": SEED,
+        "targets": sorted(targets),
+        "execs_per_pipeline": round(execs_per_pipeline, 1),
+        "rss_note": "peak_rss_mb is process-cumulative (ru_maxrss); "
+                    "current_rss_mb is the live resident set",
+        "rungs": rungs,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scale.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    lines = []
+    for rung in rungs:
+        generate = rung["stages"]["generate"]
+        lines.append(
+            f"  {rung['executions']:>8,} execs "
+            f"({rung['pipelines']:>4} pipelines): "
+            f"generate {generate['throughput']:>8,.0f} exec/s, "
+            f"peak rss {rung['peak_rss_mb']:.0f} MiB")
+        for name in ("segment", "waste_dataset"):
+            stage = rung["stages"][name]
+            top = stage["top_allocations"][:1]
+            hot = top[0]["site"] if top else "-"
+            lines.append(f"    {name:<13} {stage['throughput']:>8,.0f} "
+                         f"{stage['throughput_unit']:<13} "
+                         f"hottest alloc {hot}")
+    emit("scale trajectory — throughput / RSS / allocation by rung\n"
+         + "\n".join(lines))
+
+    # Schema the CI scale-smoke (and every later scale PR) asserts on.
+    assert len(rungs) == len(targets)
+    for rung in rungs:
+        assert rung["executions"] > 0
+        assert rung["peak_rss_mb"] is None or rung["peak_rss_mb"] > 0
+        assert set(rung["stages"]) == {"generate", "segment",
+                                       "waste_dataset"}
+        for stage in rung["stages"].values():
+            assert stage["wall_seconds"] > 0
+            assert stage["throughput"] > 0
+            assert stage["top_allocations"], \
+                "traced pass recorded no allocation sites"
+            for site in stage["top_allocations"]:
+                assert set(site) == {"site", "size_kb", "count"}
+    # Rungs actually climb: each target's realized executions exceed
+    # the previous rung's (the trajectory is a trajectory).
+    realized = [r["executions"] for r in rungs]
+    assert realized == sorted(realized)

@@ -20,6 +20,9 @@ Commands:
 * ``fleet-status`` — live (or post-mortem) status of a fleet run from
   its shard journal: per-shard progress bars, throughput, ETA, stall
   detection, and which shards a ``--resume`` would re-run.
+* ``profile`` — run any other command under the sampling profiler and
+  write its folded stacks (flamegraph format), e.g.
+  ``repro profile --out gen.folded generate --pipelines 20``.
 
 Every command works on a corpus database produced by ``generate``, so a
 full study is::
@@ -29,9 +32,12 @@ full study is::
     python -m repro waste corpus.db
 
 Observability flags are global: ``--metrics-out t.jsonl`` exports the
-metrics registry after the command, ``--trace-out spans.jsonl`` enables
-span tracing and exports it, ``-v``/``-vv`` raise log verbosity and
-``--quiet`` silences everything below errors::
+metrics registry after the command (and runs a background
+:class:`~repro.obs.resources.ResourceSampler` so the export carries
+process CPU/RSS/GC gauges), ``--trace-out spans.jsonl`` enables span
+tracing and exports it (``--trace-resources`` additionally stamps each
+span with cpu/rss/allocation deltas), ``-v``/``-vv`` raise log
+verbosity and ``--quiet`` silences everything below errors::
 
     python -m repro generate --pipelines 20 --metrics-out t.jsonl
     python -m repro telemetry t.jsonl
@@ -75,12 +81,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         _log.error("bad_fault_plan", reason=str(exc))
         return 2
     # --workers (any value, including 1), --exec-cache, or any fault /
-    # resume flag selects the fleet path: sharded generation with
-    # per-pipeline derived seeds and a crash-safe shard journal.
+    # resume / profile flag selects the fleet path: sharded generation
+    # with per-pipeline derived seeds and a crash-safe shard journal.
     # Without these flags the legacy sequential generator runs, keeping
     # existing seeds' corpora byte-identical.
     use_fleet = (args.workers is not None or args.exec_cache
-                 or args.resume or fault_plan is not None
+                 or args.resume or args.profile_out is not None
+                 or fault_plan is not None
                  or retry_policy is not None)
     if use_fleet:
         from .faults.journal import journal_dir_for
@@ -100,7 +107,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 config, workers=workers, exec_cache=args.exec_cache,
                 telemetry=args.telemetry, progress=True,
                 fault_plan=fault_plan, retry_policy=retry_policy,
-                journal_dir=journal_dir, resume=args.resume)
+                journal_dir=journal_dir, resume=args.resume,
+                profile=args.profile_out is not None)
         except JournalError as exc:
             _log.error("journal_error", reason=str(exc))
             return 2
@@ -117,6 +125,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         if fleet.spans_adopted:
             print(f"trace: {fleet.spans_adopted:,} worker spans merged "
                   f"under the run span")
+        if args.profile_out is not None:
+            from .obs.profiling import write_folded
+
+            write_folded(args.profile_out, fleet.profile_folded,
+                         header={"shards": fleet.workers,
+                                 "samples": fleet.profile_samples})
+            print(f"profile: {fleet.profile_samples:,} stack samples "
+                  f"from {fleet.workers} shard(s) merged into "
+                  f"{args.profile_out}")
         if fleet.exec_cache:
             print(f"exec cache: {fleet.cache_hits:,} hits / "
                   f"{fleet.cache_hits + fleet.cache_misses:,} cacheable "
@@ -346,6 +363,20 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         print()
         print(format_table(("operator", "exec", "cpu h", "share"), rows,
                            title=f"Top {len(rows)} cost sinks"))
+
+    measured = [u for u in diagnosis.resources
+                if u.cpu_fraction is not None]
+    if measured:
+        rows = [(u.operator, u.count, f"{u.wall_seconds:.3g}",
+                 f"{u.cpu_seconds:.3g}", f"{u.cpu_fraction:.0%}",
+                 "-" if u.alloc_kb is None else f"{u.alloc_kb:+,.0f}",
+                 u.verdict)
+                for u in measured]
+        print()
+        print(format_table(
+            ("operator", "count", "wall s", "cpu s", "cpu%", "alloc KB",
+             "verdict"), rows,
+            title="Resource attribution (persisted node telemetry)"))
 
     if diagnosis.failures:
         rows = [(f.execution_id, f.node or "-", f.operator, f.kind,
@@ -656,6 +687,50 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
             print()
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run another CLI command under the sampling profiler.
+
+    The wrapped command executes through :func:`main` (its own obs
+    flags work as usual) while a :class:`StackSampler` snapshots this
+    thread; the folded stacks land in ``--out``, ready for any
+    flamegraph renderer. Profile flags must precede the wrapped
+    command: ``repro profile --out g.folded generate --pipelines 20``.
+    """
+    import threading
+
+    from .obs.profiling import StackSampler, render_top, write_folded
+
+    wrapped = list(args.wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        _log.error("profile_no_command",
+                   hint="repro profile [--out FILE] <command ...>")
+        return 2
+    if wrapped[0] == "profile":
+        _log.error("profile_nested",
+                   hint="profile cannot wrap itself")
+        return 2
+    sampler = StackSampler(interval=args.interval,
+                           target_thread_ids={threading.get_ident()})
+    with sampler:
+        code = main(wrapped)
+    counts = sampler.folded()
+    try:
+        write_folded(args.out, counts,
+                     header={"command": " ".join(wrapped),
+                             "interval_s": args.interval,
+                             "wall_s": round(sampler.wall_seconds, 3)})
+    except OSError as exc:
+        _log.error("profile_unwritable", file=args.out,
+                   reason=type(exc).__name__)
+        return code or 2
+    print(f"\nprofile: {sum(counts.values()):,} samples over "
+          f"{sampler.wall_seconds:.1f}s -> {args.out}")
+    print(render_top(counts, args.top))
+    return code
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     records = []
     bad_lines = 0
@@ -704,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--trace-out", metavar="FILE", default=None,
                        help="enable span tracing and export spans "
                             "as JSONL")
+    group.add_argument("--trace-resources", action="store_true",
+                       help="with --trace-out: stamp each span with "
+                            "cpu_ms / rss_peak_mb / alloc_kb deltas "
+                            "(rendered by telemetry --timeline)")
     group.add_argument("-v", "--verbose", action="count", default=0,
                        help="raise log verbosity (-v info, -vv debug)")
     group.add_argument("--quiet", action="store_true",
@@ -759,6 +838,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume a partial fleet run from its "
                                "shard journal (<out>.shards/): only "
                                "failed or missing shards are re-run")
+    generate.add_argument("--profile-out", metavar="FILE", default=None,
+                          help="sample every worker's stacks and write "
+                               "the merged folded-stack profile "
+                               "(flamegraph format; implies the fleet "
+                               "path)")
     generate.set_defaults(fn=_cmd_generate)
 
     report = sub.add_parser("report", parents=[obs_flags],
@@ -838,6 +922,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--watch", type=float, default=None, metavar="SECONDS",
         help="re-render every SECONDS until the run completes")
     fleet_status.set_defaults(fn=_cmd_fleet_status)
+
+    profile = sub.add_parser(
+        "profile", parents=[obs_flags],
+        help="run another repro command under the sampling profiler "
+             "and write folded stacks (flamegraph format)")
+    profile.add_argument("--out", metavar="FILE",
+                         default="profile.folded",
+                         help="folded-stack output path "
+                              "(default profile.folded)")
+    profile.add_argument("--interval", type=float, default=0.005,
+                         metavar="SECONDS",
+                         help="seconds between stack samples "
+                              "(default 0.005)")
+    profile.add_argument("--top", type=int, default=10,
+                         help="hottest self-time frames to print "
+                              "(default 10)")
+    profile.add_argument("wrapped", nargs=argparse.REMAINDER,
+                         metavar="command",
+                         help="the repro command to profile, with its "
+                              "own flags (must come last)")
+    profile.set_defaults(fn=_cmd_profile)
     return parser
 
 
@@ -851,9 +956,16 @@ def main(argv: list[str] | None = None) -> int:
     # A fresh registry per invocation keeps --metrics-out exports scoped
     # to this command (tests call main() many times in one process).
     set_registry(MetricsRegistry())
-    tracer = Tracer() if args.trace_out else None
+    tracer = Tracer(resources=args.trace_resources) \
+        if args.trace_out else None
     if tracer is not None:
         set_tracer(tracer)
+    resource_sampler = None
+    if args.metrics_out:
+        # A metrics export should say what the *process* did, not just
+        # the instrumented code paths — sample CPU/RSS/GC alongside.
+        from .obs.resources import ResourceSampler
+        resource_sampler = ResourceSampler().start()
     try:
         return args.fn(args)
     except BrokenPipeError:
@@ -863,6 +975,8 @@ def main(argv: list[str] | None = None) -> int:
         os.dup2(devnull, sys.stdout.fileno())
         return 0
     finally:
+        if resource_sampler is not None:
+            resource_sampler.stop()
         if args.metrics_out:
             get_registry().export_jsonl(args.metrics_out)
             _log.info("metrics_exported", file=args.metrics_out)

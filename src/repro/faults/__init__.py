@@ -31,6 +31,7 @@ from .journal import (
     ShardEntry,
     ShardJournal,
     config_fingerprint,
+    folded_path,
     journal_dir_for,
     write_shard_payload,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "ShardJournal",
     "WorkerCrashError",
     "config_fingerprint",
+    "folded_path",
     "hint_fault",
     "journal_dir_for",
     "write_shard_payload",

@@ -8,6 +8,7 @@ A fleet run with an output path ``corpus.db`` journals under
     shard-0002.pkl           pipeline records + tallies (worker-written)
     shard-0002.json          outcome entry (driver-written after the fact)
     shard-0002.spans.jsonl   the shard's trace spans (when tracing is on)
+    shard-0002.folded        the shard's folded-stack profile (when profiling)
     shard-0002.status.json   live heartbeat (:mod:`repro.obs.fleetwatch`)
 
 Workers persist their payload (``.db`` + ``.pkl``) the moment a shard
@@ -39,8 +40,8 @@ from ..mlmd.store import MetadataStore
 from ..obs.metrics import MetricsRegistry, set_registry
 
 __all__ = ["JournalError", "ShardEntry", "ShardJournal",
-           "config_fingerprint", "journal_dir_for", "spans_path",
-           "write_shard_payload"]
+           "config_fingerprint", "folded_path", "journal_dir_for",
+           "spans_path", "write_shard_payload"]
 
 MANIFEST = "manifest.json"
 #: Bumped whenever the payload/extras schema changes; the fingerprint
@@ -91,6 +92,17 @@ def _stem(shard_index: int) -> str:
 def spans_path(directory: str | Path, shard_index: int) -> Path:
     """Where a shard's trace spans live inside the journal dir."""
     return Path(directory) / (_stem(shard_index) + ".spans.jsonl")
+
+
+def folded_path(directory: str | Path, shard_index: int) -> Path:
+    """Where a shard's folded-stack profile lives inside the journal dir.
+
+    Like the spans file this is advisory telemetry, deliberately
+    *outside* the config fingerprint: a journal written without
+    profiling resumes fine under ``--profile-out`` (that shard simply
+    contributes no samples) and vice versa.
+    """
+    return Path(directory) / (_stem(shard_index) + ".folded")
 
 
 def write_shard_payload(directory: str | Path, shard_index: int,

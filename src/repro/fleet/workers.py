@@ -70,8 +70,8 @@ from ..corpus.generator import (Corpus, PipelineRecord, ProgressCallback,
                                 print_progress_every, sample_pipeline_plan,
                                 _simulate_pipeline)
 from ..faults.injector import WorkerCrashError
-from ..faults.journal import (ShardJournal, config_fingerprint, spans_path,
-                              write_shard_payload)
+from ..faults.journal import (ShardJournal, config_fingerprint, folded_path,
+                              spans_path, write_shard_payload)
 from ..faults.plan import FaultPlan, FaultSpec
 from ..faults.retry import RetryPolicy
 from ..mlmd import MetadataStore
@@ -168,6 +168,7 @@ class ShardResult:
     finished_unix: float = 0.0
     spans: list[dict] = field(default_factory=list)
     trace_meta: dict = field(default_factory=dict)
+    profile: dict = field(default_factory=dict)
     transfer_seconds: float = 0.0
     snapshot_blob: bytes | None = None
     snapshot_direct: StoreSnapshot | None = None
@@ -223,7 +224,8 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
               journal_dir: str | Path | None = None,
               allow_crash: bool = True,
               trace_ctx: TraceContext | None = None,
-              serialize: bool = False) -> ShardResult:
+              serialize: bool = False,
+              profile: bool = False) -> ShardResult:
     """Simulate one shard into a private store (worker entry point).
 
     Runs in a worker process (or inline for workers=1): installs a
@@ -242,7 +244,11 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
     ``repro fleet-status``. With a ``trace_ctx``, a fresh worker
     tracer records the shard's spans for driver-side adoption; with
     ``serialize=True`` (the process-pool path) the snapshot is pickled
-    here, under measurement, instead of implicitly by the pool.
+    here, under measurement, instead of implicitly by the pool. With
+    ``profile=True``, a :class:`~repro.obs.profiling.StackSampler`
+    samples this thread for the shard's whole lifetime; the folded
+    stacks ship home in :attr:`ShardResult.profile` (and land in the
+    journal as ``shard-NNNN.folded``) for coordinator-side merging.
     """
     started = perf_counter()
     crash = None
@@ -253,6 +259,13 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
     if journal_dir is not None:
         heartbeat = ShardHeartbeat(journal_dir, spec.shard_index,
                                    spec.n_pipelines, worker=worker_name)
+    sampler = None
+    if profile:
+        from ..obs.profiling import StackSampler
+        import threading
+
+        sampler = StackSampler(
+            target_thread_ids={threading.get_ident()}).start()
     previous_registry = set_registry(MetricsRegistry())
     worker_tracer = Tracer(context=trace_ctx) if trace_ctx else None
     previous_tracer = set_tracer(worker_tracer) if worker_tracer else None
@@ -340,6 +353,21 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
             if journal_dir is not None:
                 worker_tracer.export_jsonl(
                     spans_path(journal_dir, spec.shard_index))
+        profile_counts: dict = {}
+        if sampler is not None:
+            profile_counts = sampler.stop()
+            if journal_dir is not None:
+                from ..obs.profiling import write_folded
+                try:
+                    write_folded(
+                        folded_path(journal_dir, spec.shard_index),
+                        profile_counts,
+                        header={"worker": worker_name,
+                                "samples": sampler.samples})
+                except OSError:
+                    # Like heartbeats, the profile is advisory — a
+                    # full disk must not fail the shard.
+                    pass
         if heartbeat is not None:
             heartbeat.beat("done", spec.n_pipelines, force=True)
         return ShardResult(
@@ -351,9 +379,12 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
             snapshot_bytes=len(blob) if blob else 0,
             finished_unix=time.time(),
             spans=span_records, trace_meta=trace_meta,
+            profile=profile_counts,
             snapshot_blob=blob,
             snapshot_direct=None if blob is not None else snapshot)
     finally:
+        if sampler is not None:
+            sampler.stop()
         set_registry(previous_registry)
         if previous_tracer is not None:
             set_tracer(previous_tracer)
@@ -380,6 +411,12 @@ class FleetReport:
     snapshot_bytes: int = 0
     merge_rows: int = 0
     spans_adopted: int = 0
+    profile_folded: dict = field(default_factory=dict)
+
+    @property
+    def profile_samples(self) -> int:
+        """Total stack samples across every shard's merged profile."""
+        return sum(self.profile_folded.values())
 
     @property
     def cache_hit_rate(self) -> float:
@@ -465,7 +502,8 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                           fault_plan: FaultPlan | None = None,
                           retry_policy: RetryPolicy | None = None,
                           journal_dir: str | Path | None = None,
-                          resume: bool = False
+                          resume: bool = False,
+                          profile: bool = False
                           ) -> tuple[Corpus, FleetReport]:
     """Generate a corpus by sharded (optionally parallel) simulation.
 
@@ -497,6 +535,11 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
         resume: Reuse completed shards from ``journal_dir`` and
             re-simulate only failed/missing ones. Requires a journal
             written by a run with the identical config and plan.
+        profile: Run a :class:`~repro.obs.profiling.StackSampler` in
+            every worker; per-shard folded stacks are merged into
+            ``report.profile_folded`` (and journaled per shard). A
+            resumed shard contributes its journaled profile, if any —
+            the flag is not part of the journal fingerprint.
 
     Returns:
         The merged :class:`Corpus` plus a :class:`FleetReport`. A run
@@ -547,6 +590,10 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                         **extras)
                     result.spans, result.trace_meta = _load_shard_spans(
                         journal.directory, spec.shard_index)
+                    if profile:
+                        from ..obs.profiling import read_folded
+                        result.profile = read_folded(folded_path(
+                            journal.directory, spec.shard_index))
                     results[spec.shard_index] = result
                     resumed += 1
                 else:
@@ -593,7 +640,7 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                     spec, config, telemetry, exec_cache, fault_plan,
                     retry_policy, payload_dir,
                     allow_crash[spec.shard_index],
-                    trace_ctx=trace_ctx_for(spec)))
+                    trace_ctx=trace_ctx_for(spec), profile=profile))
             except WorkerCrashError as exc:
                 record_failure(spec, "worker_crash", str(exc),
                                crashed=True)
@@ -619,7 +666,7 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                                 payload_dir,
                                 allow_crash[spec.shard_index],
                                 trace_ctx=trace_ctx_for(spec),
-                                serialize=True): spec
+                                serialize=True, profile=profile): spec
                             for spec in to_run
                         }
                         for future in concurrent.futures.as_completed(
@@ -717,6 +764,12 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                         _log.warning("fleet_shard_telemetry_missing",
                                      shard=spec.shard_index,
                                      reason="no spans returned")
+                if result.profile:
+                    # Folded-stack counts are additive: the merged
+                    # profile is one fleet-wide flamegraph.
+                    from ..obs.profiling import merge_folded
+                    report.profile_folded = merge_folded(
+                        report.profile_folded, result.profile)
                 report.cache_hits += result.cache_hits
                 report.cache_misses += result.cache_misses
                 report.saved_cpu_hours += result.saved_cpu_hours

@@ -14,6 +14,12 @@ package makes the reproduction emit its own. Three pieces:
 * :mod:`repro.obs.fleetwatch` — live fleet run status: worker heartbeat
   files in the shard journal dir plus the driver-side reader behind
   ``repro fleet-status``.
+* :mod:`repro.obs.resources` — process resource observation: CPU/RSS/GC
+  readers, a throttled background :class:`ResourceSampler`, and per-span
+  CPU/peak-RSS/allocation attribution (``Tracer(resources=True)``).
+* :mod:`repro.obs.profiling` — a sampling profiler
+  (:class:`StackSampler`) with mergeable folded-stack export behind
+  ``repro profile``.
 * :mod:`repro.obs.provenance` — a :class:`TelemetrySink` persisting
   per-node / per-run telemetry *into the MLMD store*, keyed by
   execution id (queryable through the provenance graph).
@@ -60,6 +66,16 @@ _LAZY_EXPORTS = {
     "ShardStatus": "fleetwatch",
     "collect_fleet_status": "fleetwatch",
     "render_fleet_status": "fleetwatch",
+    "ResourceSampler": "resources",
+    "attribute_span": "resources",
+    "current_rss_mb": "resources",
+    "peak_rss_mb": "resources",
+    "span_probe": "resources",
+    "StackSampler": "profiling",
+    "merge_folded": "profiling",
+    "read_folded": "profiling",
+    "render_top": "profiling",
+    "write_folded": "profiling",
     "TelemetrySink": "provenance",
     "attach_sink": "provenance",
     "detach_sink": "provenance",
@@ -68,11 +84,13 @@ _LAZY_EXPORTS = {
     "OperatorStats": "diagnosis",
     "PipelineDiagnosis": "diagnosis",
     "RegressionFlag": "diagnosis",
+    "ResourceUsage": "diagnosis",
     "critical_path": "diagnosis",
     "diagnose_pipeline": "diagnosis",
     "find_regressions": "diagnosis",
     "operator_stats": "diagnosis",
     "pipeline_cost_split": "diagnosis",
+    "resource_attribution": "diagnosis",
     "top_cost_sinks": "diagnosis",
 }
 

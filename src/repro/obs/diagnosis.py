@@ -18,6 +18,10 @@ traces to explain where pipelines spend and waste compute:
 * :func:`operator_stats` / :func:`find_regressions` — fleet-level
   per-operator-type distributions from persisted ``node`` telemetry,
   and p95 drift detection between two corpus runs.
+* :func:`resource_attribution` — per-operator wall vs CPU vs allocation
+  decomposition from the ``cpu_seconds`` / ``alloc_kb`` properties the
+  runtime persists (see :mod:`repro.obs.resources`), labelling each
+  operator cpu-bound, alloc-bound, mixed, or idle.
 * :func:`diagnose_pipeline` — the one-call roll-up behind
   ``repro diagnose``.
 """
@@ -43,6 +47,7 @@ __all__ = [
     "OperatorStats",
     "PipelineDiagnosis",
     "RegressionFlag",
+    "ResourceUsage",
     "collect_failures",
     "critical_path",
     "diagnose_pipeline",
@@ -50,6 +55,7 @@ __all__ = [
     "find_regressions",
     "operator_stats",
     "pipeline_cost_split",
+    "resource_attribution",
     "top_cost_sinks",
 ]
 
@@ -272,6 +278,97 @@ def operator_stats(store: MetadataStore, metric: str = "wall_seconds"
     return out
 
 
+# ------------------------------------------- resource attribution
+
+#: cpu/wall above this → the operator is compute-bound.
+CPU_BOUND_FRACTION = 0.65
+#: cpu/wall below this → the operator mostly waits.
+IDLE_FRACTION = 0.25
+#: net KiB allocated per wall second above this → allocation dominates.
+ALLOC_BOUND_KB_PER_SEC = 4096.0
+
+
+@dataclass
+class ResourceUsage:
+    """One operator type's aggregated wall/CPU/allocation telemetry.
+
+    ``cpu_seconds`` / ``alloc_kb`` are ``None`` when no persisted row
+    carried the property (telemetry from before the resource
+    observatory, or allocation tracking off).
+    """
+
+    operator: str
+    count: int
+    wall_seconds: float
+    cpu_seconds: float | None = None
+    alloc_kb: float | None = None
+
+    @property
+    def cpu_fraction(self) -> float | None:
+        """CPU seconds per wall second (None when unmeasured)."""
+        if self.cpu_seconds is None or self.wall_seconds <= 0:
+            return None
+        return self.cpu_seconds / self.wall_seconds
+
+    @property
+    def verdict(self) -> str:
+        """``cpu-bound`` / ``alloc-bound`` / ``mixed`` / ``idle``.
+
+        Allocation pressure is checked first: an operator can burn CPU
+        *because* it churns memory, and "alloc-bound" is the verdict
+        that points at the fix (buffer reuse, streaming).
+        """
+        fraction = self.cpu_fraction
+        if fraction is None:
+            return "unmeasured"
+        if self.alloc_kb is not None and self.wall_seconds > 0 \
+                and self.alloc_kb / self.wall_seconds \
+                >= ALLOC_BOUND_KB_PER_SEC:
+            return "alloc-bound"
+        if fraction >= CPU_BOUND_FRACTION:
+            return "cpu-bound"
+        if fraction <= IDLE_FRACTION:
+            return "idle"
+        return "mixed"
+
+
+def _aggregate_resources(node_rows) -> list[ResourceUsage]:
+    """Fold node telemetry rows into per-operator resource usage."""
+    by_operator: dict[str, ResourceUsage] = {}
+    for record in node_rows:
+        usage = by_operator.get(record.name)
+        if usage is None:
+            usage = by_operator[record.name] = ResourceUsage(
+                operator=record.name, count=0, wall_seconds=0.0)
+        usage.count += 1
+        usage.wall_seconds += float(record.value)
+        cpu = record.get("cpu_seconds")
+        if cpu is not None:
+            usage.cpu_seconds = (usage.cpu_seconds or 0.0) + float(cpu)
+        alloc = record.get("alloc_kb")
+        if alloc is not None:
+            usage.alloc_kb = (usage.alloc_kb or 0.0) + float(alloc)
+    return sorted(by_operator.values(),
+                  key=lambda u: (-u.wall_seconds, u.operator))
+
+
+def resource_attribution(store: MetadataStore,
+                         context_id: int | None = None
+                         ) -> list[ResourceUsage]:
+    """Per-operator wall/CPU/allocation usage from persisted telemetry.
+
+    Scoped to one pipeline when ``context_id`` is given, fleet-wide
+    otherwise; heaviest wall time first.
+    """
+    store = as_client(store)
+    if context_id is not None:
+        rows = [r for r in store.get_telemetry_by_context(context_id)
+                if r.kind == NODE_KIND]
+    else:
+        rows = store.get_telemetry(kind=NODE_KIND)
+    return _aggregate_resources(rows)
+
+
 # ------------------------------------------------------- regressions
 
 
@@ -398,6 +495,7 @@ class PipelineDiagnosis:
     n_cached: int = 0
     saved_cpu_hours: float = 0.0
     failures: list[FailureRecord] = field(default_factory=list)
+    resources: list[ResourceUsage] = field(default_factory=list)
 
     @property
     def telemetry_coverage(self) -> float:
@@ -469,4 +567,5 @@ def diagnose_pipeline(store: MetadataStore, context_id: int,
         saved_cpu_hours=sum(
             float(e.get("saved_cpu_hours", 0.0)) for e in executions
             if e.state.value == "cached"),
-        failures=collect_failures(store, context_id))
+        failures=collect_failures(store, context_id),
+        resources=_aggregate_resources(node_rows))

@@ -32,6 +32,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .resources import peak_rss_mb
+
 __all__ = [
     "FleetStatus",
     "ShardHeartbeat",
@@ -47,25 +49,6 @@ DEFAULT_STALL_AFTER = 30.0
 
 #: Minimum seconds between heartbeat writes (per shard).
 DEFAULT_MIN_INTERVAL = 0.5
-
-
-def _rss_mb() -> float | None:
-    """This process's peak resident set in MiB, if the platform says.
-
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
-    both. Platforms without :mod:`resource` (Windows) report ``None``.
-    """
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return None
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if usage == 0:
-        return None
-    import sys
-    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
-        return usage / (1024.0 * 1024.0)
-    return usage / 1024.0
 
 
 def status_path(journal_dir: str | Path, shard_index: int) -> Path:
@@ -106,7 +89,7 @@ class ShardHeartbeat:
             "phase": phase,
             "pipelines_done": done,
             "pipelines_total": self.total,
-            "rss_mb": _rss_mb(),
+            "rss_mb": peak_rss_mb(),
             "started_unix": self.started_unix,
             "updated_unix": now,
         }

@@ -59,14 +59,29 @@ class TelemetrySink:
     def record_node(self, execution_id: int, *, operator: str,
                     wall_seconds: float, status: str,
                     context_id: int | None = None,
-                    run_index: int = 0, run_kind: str = "") -> int:
+                    run_index: int = 0, run_kind: str = "",
+                    cpu_seconds: float | None = None,
+                    alloc_kb: float | None = None) -> int:
         """Persist one operator execution's measurement.
 
         cpu_hours and the simulated start/end are read off the
         execution itself, so callers only supply what the store does
-        not already know (real wall time, status, run coordinates).
+        not already know (real wall time, status, run coordinates, and
+        — when measured — real CPU seconds and net allocation, the
+        properties ``repro diagnose`` uses to split wall time into
+        cpu-bound vs idle).
         """
         execution = self.store.get_execution(execution_id)
+        properties = {
+            "cpu_hours": float(execution.get("cpu_hours", 0.0)),
+            "status": status,
+            "run_index": int(run_index),
+            "run_kind": run_kind,
+        }
+        if cpu_seconds is not None:
+            properties["cpu_seconds"] = float(cpu_seconds)
+        if alloc_kb is not None:
+            properties["alloc_kb"] = float(alloc_kb)
         return self.store.put_telemetry(TelemetryRecord(
             kind=NODE_KIND,
             name=operator,
@@ -75,12 +90,7 @@ class TelemetrySink:
             value=float(wall_seconds),
             start_time=execution.start_time,
             end_time=execution.end_time,
-            properties={
-                "cpu_hours": float(execution.get("cpu_hours", 0.0)),
-                "status": status,
-                "run_index": int(run_index),
-                "run_kind": run_kind,
-            }))
+            properties=properties))
 
     # -------------------------------------------------------------- run
 

@@ -126,13 +126,14 @@ class Span:
 class _SpanContext:
     """Context manager opening/closing one span on a real tracer."""
 
-    __slots__ = ("_tracer", "_span", "_token")
+    __slots__ = ("_tracer", "_span", "_token", "_probe")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self._tracer = tracer
         self._span = Span(name, tracer._next_id(), None,
                           time.perf_counter(), attrs)
         self._token = None
+        self._probe = None
 
     def __enter__(self) -> Span:
         current = self._tracer._current
@@ -140,10 +141,18 @@ class _SpanContext:
         if parent is not None:
             self._span.parent_id = parent.span_id
         self._token = current.set(self._span)
+        if self._tracer.resources:
+            from .resources import span_probe
+
+            self._probe = span_probe()
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self._span.end = time.perf_counter()
+        if self._probe is not None:
+            from .resources import attribute_span
+
+            attribute_span(self._span, self._probe)
         if exc_type is not None:
             self._span.error = exc_type.__name__
         self._tracer._current.reset(self._token)
@@ -188,6 +197,7 @@ class NullTracer:
 
     __slots__ = ()
     enabled = False
+    resources = False
 
     def span(self, name: str, **attrs) -> _NullSpanContext:
         """Return the shared no-op context manager."""
@@ -223,7 +233,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, context: TraceContext | None = None) -> None:
+    def __init__(self, context: TraceContext | None = None,
+                 resources: bool = False) -> None:
+        # Opt-in per-span resource attribution: context-manager spans
+        # additionally record cpu_ms / rss_peak_mb / alloc_kb deltas
+        # (see repro.obs.resources). Off by default — the probe is two
+        # clock reads plus a getrusage per span, cheap but not free,
+        # and the hot-path record_span API stays untouched either way.
+        self.resources = resources
         self._finished: list[Span] = []
         self._current: contextvars.ContextVar[Span | None] = \
             contextvars.ContextVar("repro_obs_span", default=None)

@@ -34,17 +34,21 @@ def render_span_timeline(records: list[dict],
     One line per span, children indented under parents, siblings in
     start order; offsets are relative to the earliest span. Spans
     adopted from fleet workers carry a ``worker`` attr, shown in
-    brackets::
+    brackets; spans recorded with resource attribution
+    (``Tracer(resources=True)``) grow ``cpu=``/``alloc=`` columns::
 
           0.000s fleet.run 4.72s
           0.002s   fleet.plan 1.1ms
-          0.004s   fleet.simulate 4.34s
+          0.004s   fleet.simulate 4.34s cpu=4.1s
           0.051s     fleet.shard 1.39s [shard-0000]
           ...
 
     Tolerant of partial exports: non-span records (headers, metrics)
-    and malformed lines are skipped; a span whose parent is missing
-    from the file renders as a root.
+    and malformed lines are skipped. A span with no parent renders as
+    a root; spans whose parent id points *outside the file* (a torn
+    export, a worker file read without its coordinator) are grouped
+    under a synthetic ``<detached>`` root so broken causality is
+    visible instead of silently blending into the real roots.
     """
     spans = []
     for record in records:
@@ -61,12 +65,15 @@ def render_span_timeline(records: list[dict],
     ids = {int(r["span_id"]) for r in spans}
     children: dict[int, list[dict]] = {}
     roots: list[dict] = []
+    detached: list[dict] = []
     for record in spans:
         parent = record.get("parent_id")
-        if parent is not None and int(parent) in ids:
+        if parent is None:
+            roots.append(record)
+        elif int(parent) in ids:
             children.setdefault(int(parent), []).append(record)
         else:
-            roots.append(record)
+            detached.append(record)
     origin = min(float(r["start"]) for r in spans)
     lines: list[str] = []
     truncated = 0
@@ -78,12 +85,18 @@ def render_span_timeline(records: list[dict],
             return
         start = float(record["start"])
         duration = max(0.0, float(record.get("end", start)) - start)
-        worker = (record.get("attrs") or {}).get("worker")
+        attrs = record.get("attrs") or {}
         error = record.get("error")
         line = (f"{start - origin:9.3f}s {'  ' * depth}"
                 f"{record.get('name', '-')} {_fmt_seconds(duration)}")
-        if worker:
-            line += f" [{worker}]"
+        cpu_ms = attrs.get("cpu_ms")
+        if cpu_ms is not None:
+            line += f" cpu={_fmt_seconds(float(cpu_ms) / 1e3)}"
+        alloc_kb = attrs.get("alloc_kb")
+        if alloc_kb is not None:
+            line += f" alloc={float(alloc_kb):+.0f}KB"
+        if attrs.get("worker"):
+            line += f" [{attrs['worker']}]"
         if error:
             line += f" !{error}"
         lines.append(line)
@@ -92,9 +105,17 @@ def render_span_timeline(records: list[dict],
                                            int(r["span_id"]))):
             walk(child, depth + 1)
 
-    for root in sorted(roots, key=lambda r: (float(r["start"]),
-                                             int(r["span_id"]))):
+    def span_order(record: dict):
+        return (float(record["start"]), int(record["span_id"]))
+
+    for root in sorted(roots, key=span_order):
         walk(root, 0)
+    if detached and len(lines) < max_spans:
+        lines.append(f"{min(float(r['start']) for r in detached) - origin:9.3f}s "
+                     f"<detached> ({len(detached)} spans with missing "
+                     "parents)")
+        for orphan in sorted(detached, key=span_order):
+            walk(orphan, 1)
     if truncated or len(lines) >= max_spans:
         hidden = len(spans) - len(lines)
         if hidden > 0:

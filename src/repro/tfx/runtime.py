@@ -28,7 +28,7 @@ from ..mlmd import (
     ExecutionState,
     MetadataStore,
 )
-from time import perf_counter
+from time import perf_counter, process_time
 
 from ..faults.injector import CORRUPT_INPUT_FAULT, hint_fault
 from ..obs.metrics import get_registry
@@ -193,6 +193,12 @@ class PipelineRunner:
                          kind=kind, run_index=self._run_index) as run_span:
             tracing = tracer.enabled
             measuring = tracing or sink is not None
+            # CPU attribution (wall vs cpu decomposes "slow" into
+            # compute-bound vs idle) is captured whenever telemetry
+            # persists or the tracer asked for resources — two clock
+            # reads per node, noise next to the store writes.
+            cpu_measuring = sink is not None or (tracing
+                                                 and tracer.resources)
             for node in self._topo:
                 if kind == INGEST_STAGE and node.stage != INGEST_STAGE:
                     report.node_status[node.node_id] = NOT_IN_STAGE
@@ -205,14 +211,21 @@ class PipelineRunner:
                 # at corpus scale breaks the ≤5% overhead budget.
                 if measuring:
                     wall_start = perf_counter()
+                    cpu_start = process_time() if cpu_measuring else 0.0
                     status, duration = self._run_node(
                         node, cursor, hints, report, fresh_outputs)
+                    cpu_seconds = (process_time() - cpu_start
+                                   if cpu_measuring else None)
                     wall_end = perf_counter()
                     if tracing:
+                        span_attrs = {"node": node.node_id,
+                                      "status": status}
+                        if tracer.resources and cpu_seconds is not None:
+                            span_attrs["cpu_ms"] = round(
+                                cpu_seconds * 1e3, 3)
                         tracer.record_span(
                             "runtime.node", wall_start, wall_end,
-                            parent_id=run_span.span_id, node=node.node_id,
-                            status=status)
+                            parent_id=run_span.span_id, **span_attrs)
                     if sink is not None:
                         execution_id = report.execution_ids.get(
                             node.node_id)
@@ -224,7 +237,8 @@ class PipelineRunner:
                                 status=status,
                                 context_id=self.context_id,
                                 run_index=self._run_index,
-                                run_kind=kind)
+                                run_kind=kind,
+                                cpu_seconds=cpu_seconds)
                 else:
                     status, duration = self._run_node(
                         node, cursor, hints, report, fresh_outputs)

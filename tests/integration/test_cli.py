@@ -393,6 +393,74 @@ class TestFleetStatusCLI:
         assert args.watch is None
 
 
+class TestResourceObservatory:
+    def test_diagnose_prints_resource_attribution(self, cli_corpus,
+                                                  capsys):
+        assert main(["diagnose", str(cli_corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "Resource attribution" in out
+        assert "verdict" in out
+        # Every persisted operator row carries a measured verdict.
+        assert "cpu-bound" in out or "mixed" in out or "idle" in out
+
+    def test_trace_resources_adds_cpu_columns(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["generate", "--pipelines", "4", "--seed", "3",
+                     "--max-graphlets", "8",
+                     "--out", str(tmp_path / "c.db"),
+                     "--trace-out", str(trace),
+                     "--trace-resources"]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(trace), "--timeline"]) == 0
+        assert "cpu=" in capsys.readouterr().out
+
+    def test_metrics_out_includes_sampler_gauges(self, tmp_path,
+                                                 capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["generate", "--pipelines", "4", "--seed", "3",
+                     "--max-graphlets", "8",
+                     "--out", str(tmp_path / "c.db"),
+                     "--metrics-out", str(metrics)]) == 0
+        names = {json.loads(line)["name"]
+                 for line in metrics.read_text().splitlines()}
+        assert "proc.cpu_percent" in names
+
+    def test_profile_wraps_generate(self, tmp_path, capsys):
+        folded = tmp_path / "gen.folded"
+        assert main(["profile", "--out", str(folded),
+                     "generate", "--pipelines", "4", "--seed", "3",
+                     "--max-graphlets", "8",
+                     "--out", str(tmp_path / "c.db")]) == 0
+        out = capsys.readouterr().out
+        assert "self-time frames" in out
+        text = folded.read_text()
+        assert text.startswith("# command: generate")
+        from repro.obs.profiling import read_folded
+        counts = read_folded(folded)
+        assert counts
+        assert sum(counts.values()) > 0
+
+    def test_profile_without_command_exits_2(self, capsys):
+        assert main(["profile"]) == 2
+        assert "profile_no_command" in capsys.readouterr().err
+
+    def test_profile_cannot_nest(self, capsys):
+        assert main(["profile", "profile", "generate"]) == 2
+        assert "profile_nested" in capsys.readouterr().err
+
+    def test_generate_profile_out_merges_shards(self, tmp_path,
+                                                capsys):
+        folded = tmp_path / "fleet.folded"
+        assert main(["generate", "--pipelines", "6", "--seed", "11",
+                     "--max-graphlets", "8", "--workers", "2",
+                     "--out", str(tmp_path / "c.db"),
+                     "--profile-out", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "stack samples" in out
+        from repro.obs.profiling import read_folded
+        assert read_folded(folded)
+
+
 def _dump(path):
     import sqlite3
     conn = sqlite3.connect(path)

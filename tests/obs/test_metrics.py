@@ -173,6 +173,70 @@ class TestRegistry:
         assert get_registry() is previous
 
 
+class TestHistogramMergeState:
+    """The cross-process fold's edge cases: empty and singleton shards."""
+
+    def test_merging_empty_state_changes_nothing(self, registry):
+        target = registry.histogram("h")
+        target.record(2.0)
+        empty = Histogram("h", {})
+        target.merge_state(empty.state())
+        assert target.count == 1
+        assert target.min == 2.0
+        assert target.max == 2.0
+
+    def test_merging_into_empty_adopts_exact_aggregates(self, registry):
+        source = Histogram("h", {})
+        for value in (3.0, -1.0, 7.0):
+            source.record(value)
+        target = registry.histogram("h")
+        target.merge_state(source.state())
+        assert target.count == 3
+        assert target.sum == pytest.approx(9.0)
+        assert target.min == -1.0
+        assert target.max == 7.0
+
+    def test_empty_plus_empty_keeps_sentinels(self):
+        target = Histogram("h", {})
+        target.merge_state(Histogram("h", {}).state())
+        assert target.count == 0
+        # Sentinels untouched → summary still reports the empty shape.
+        assert target.summary()["p50"] is None
+
+    def test_singleton_reservoir_merges_exactly(self):
+        source = Histogram("h", {})
+        source.record(42.0)
+        target = Histogram("h", {})
+        target.record(1.0)
+        target.merge_state(source.state())
+        assert target.count == 2
+        assert target.min == 1.0
+        assert target.max == 42.0
+        assert sorted(target._reservoir) == [1.0, 42.0]
+
+    def test_state_records_fold_round_trips_min_max_exactly(self):
+        # Worker → parent wire format: extreme values must land in the
+        # folded min/max bit-for-bit even when they miss the reservoir.
+        worker = MetricsRegistry()
+        hist = worker.histogram("lat", op="put")
+        for value in (1e-9, 3.5, 12345.678901234567):
+            hist.record(value)
+        parent = MetricsRegistry()
+        parent.fold(worker.state_records())
+        folded = parent.histogram("lat", op="put")
+        assert folded.count == 3
+        assert folded.min == 1e-9
+        assert folded.max == 12345.678901234567
+        assert folded.sum == hist.sum
+
+    def test_fold_of_empty_histogram_state_is_a_noop(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat")  # created, never recorded
+        parent = MetricsRegistry()
+        parent.fold(worker.state_records())
+        assert parent.histogram("lat").count == 0
+
+
 class TestThreadSafety:
     N_THREADS = 8
     N_OPS = 2_000

@@ -1,0 +1,141 @@
+"""Unit tests for resource readers, the sampler, and span attribution."""
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resources import (
+    ResourceSampler,
+    attribute_span,
+    cpu_seconds,
+    current_rss_mb,
+    gc_counts,
+    peak_rss_mb,
+    span_probe,
+)
+from repro.obs.tracing import Tracer
+
+
+class TestReaders:
+    def test_peak_rss_is_positive_when_reported(self):
+        peak = peak_rss_mb()
+        if peak is not None:
+            assert peak > 0
+
+    def test_current_rss_is_positive_when_reported(self):
+        current = current_rss_mb()
+        if current is not None:
+            assert 0 < current
+            peak = peak_rss_mb()
+            if peak is not None:
+                # Live RSS can't exceed the lifetime peak (small slack:
+                # the two reads aren't atomic).
+                assert current <= peak * 1.05
+
+    def test_cpu_seconds_is_monotone(self):
+        before = cpu_seconds()
+        sum(i * i for i in range(50_000))
+        assert cpu_seconds() >= before
+
+    def test_gc_counts_one_entry_per_generation(self):
+        counts = gc_counts()
+        assert len(counts) == 3
+        assert all(isinstance(c, int) and c >= 0 for c in counts)
+
+
+class TestResourceSampler:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval=0)
+
+    def test_records_gauges_into_registry(self):
+        registry = MetricsRegistry()
+        with ResourceSampler(interval=0.01, registry=registry) as sampler:
+            time.sleep(0.05)
+        assert sampler.samples > 0
+        names = {record["name"] for record in registry.snapshot()}
+        assert "proc.cpu_percent" in names
+        assert "proc.gc_collections" in names
+        if current_rss_mb() is not None or peak_rss_mb() is not None:
+            assert "proc.rss_mb" in names
+            assert "proc.rss_mb_sampled" in names
+
+    def test_stop_is_idempotent_and_restartable(self):
+        sampler = ResourceSampler(interval=0.01,
+                                  registry=MetricsRegistry())
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+        first = sampler.samples
+        sampler.start()
+        sampler.stop()
+        assert sampler.samples > first
+
+    def test_start_twice_keeps_one_thread(self):
+        sampler = ResourceSampler(interval=0.05,
+                                  registry=MetricsRegistry())
+        try:
+            assert sampler.start() is sampler.start()
+        finally:
+            sampler.stop()
+
+
+class _SpanStub:
+    def __init__(self):
+        self.attrs = {}
+
+    def set_attr(self, key, value):
+        self.attrs[key] = value
+
+
+class TestSpanAttribution:
+    def test_cpu_ms_always_attributed(self):
+        span = _SpanStub()
+        probe = span_probe()
+        sum(i * i for i in range(100_000))
+        attribute_span(span, probe)
+        assert span.attrs["cpu_ms"] >= 0
+
+    def test_alloc_only_when_tracemalloc_active_both_ends(self):
+        span = _SpanStub()
+        attribute_span(span, span_probe())
+        assert "alloc_kb" not in span.attrs
+
+        assert not tracemalloc.is_tracing()
+        tracemalloc.start()
+        try:
+            span = _SpanStub()
+            probe = span_probe()
+            ballast = [bytearray(1024) for _ in range(256)]
+            attribute_span(span, probe)
+            assert span.attrs["alloc_kb"] > 0
+            del ballast
+        finally:
+            tracemalloc.stop()
+
+    def test_probe_without_tracemalloc_survives_late_enable(self):
+        # tracemalloc turned on mid-span: no baseline → no alloc attr.
+        span = _SpanStub()
+        probe = span_probe()
+        tracemalloc.start()
+        try:
+            attribute_span(span, probe)
+        finally:
+            tracemalloc.stop()
+        assert "alloc_kb" not in span.attrs
+
+    def test_tracer_resources_flag_attributes_spans(self):
+        tracer = Tracer(resources=True)
+        with tracer.span("work"):
+            sum(i * i for i in range(10_000))
+        (span,) = tracer.finished_spans()
+        assert "cpu_ms" in span.attrs
+
+    def test_default_tracer_spans_stay_bare(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.finished_spans()
+        assert "cpu_ms" not in span.attrs
