@@ -69,6 +69,50 @@ def _parse_fault_options(args: argparse.Namespace):
     return plan, policy
 
 
+def _resume_command(args: argparse.Namespace) -> str:
+    """The exact ``repro generate ... --resume`` that continues this run.
+
+    Rebuilt from the parsed args (shell-quoted) so a partial run's
+    epilogue can print a copy-pasteable command carrying every flag the
+    original invocation used — the journal fingerprint demands the
+    same config/plan, so guessing flags is exactly what a 2am operator
+    should not have to do.
+    """
+    import shlex
+
+    parts = ["repro", "generate",
+             "--pipelines", str(args.pipelines),
+             "--seed", str(args.seed),
+             "--max-graphlets", str(args.max_graphlets),
+             "--out", shlex.quote(args.out)]
+    if not args.telemetry:
+        parts.append("--no-telemetry")
+    if args.workers is not None:
+        parts += ["--workers", str(args.workers)]
+    if args.exec_cache:
+        parts.append("--exec-cache")
+    if args.fault_plan:
+        parts += ["--fault-plan", shlex.quote(args.fault_plan)]
+        if args.fault_seed:
+            parts += ["--fault-seed", str(args.fault_seed)]
+    if args.retries:
+        parts += ["--retries", str(args.retries)]
+    if args.profile_out is not None:
+        parts += ["--profile-out", shlex.quote(args.profile_out)]
+    if args.supervise:
+        parts.append("--supervise")
+        if args.max_attempts != 3:
+            parts += ["--max-attempts", str(args.max_attempts)]
+        if args.hedge_after is not None:
+            parts += ["--hedge-after", str(args.hedge_after)]
+        if args.fault_budget is not None:
+            parts += ["--fault-budget", str(args.fault_budget)]
+    if args.stall_after is not None:
+        parts += ["--stall-after", str(args.stall_after)]
+    parts.append("--resume")
+    return " ".join(parts)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .corpus import CorpusConfig, generate_corpus
     from .mlmd import save_store
@@ -88,7 +132,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     use_fleet = (args.workers is not None or args.exec_cache
                  or args.resume or args.profile_out is not None
                  or fault_plan is not None
-                 or retry_policy is not None)
+                 or retry_policy is not None
+                 or args.supervise)
     if use_fleet:
         from .faults.journal import journal_dir_for
         from .fleet import generate_corpus_fleet
@@ -98,6 +143,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
               f"(seed {args.seed}, {workers} workers"
               f"{', exec cache' if args.exec_cache else ''}"
               f"{', faults: ' + fault_plan.describe() if fault_plan else ''}"
+              f"{', supervised' if args.supervise else ''}"
               f"{', resume' if args.resume else ''}) ...")
         from .faults.journal import JournalError
 
@@ -108,7 +154,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 telemetry=args.telemetry, progress=True,
                 fault_plan=fault_plan, retry_policy=retry_policy,
                 journal_dir=journal_dir, resume=args.resume,
-                profile=args.profile_out is not None)
+                profile=args.profile_out is not None,
+                supervise=args.supervise,
+                max_attempts=args.max_attempts,
+                stall_after=args.stall_after,
+                hedge_after=args.hedge_after,
+                fault_budget=args.fault_budget)
         except JournalError as exc:
             _log.error("journal_error", reason=str(exc))
             return 2
@@ -144,6 +195,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
               f"{corpus.store.num_artifacts:,} artifacts / "
               f"{corpus.store.num_telemetry:,} telemetry rows "
               f"to {args.out}")
+        if fleet.degradation is not None \
+                and (fleet.degradation.degraded
+                     or fleet.degradation.reschedules
+                     or fleet.degradation.hedges):
+            from .fleet.supervisor import render_degradation
+            print("\nsupervision:")
+            print(render_degradation(fleet.degradation))
         if not fleet.complete:
             print(f"\nPARTIAL RUN: {len(fleet.failed_shards)} shard(s) "
                   f"failed ({fleet.missing_pipelines} of "
@@ -152,10 +210,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 print(f"  shard {failure.shard_index} "
                       f"[pipelines {failure.start}..{failure.stop - 1}] "
                       f"{failure.kind}: {failure.message}")
-            print(f"the saved store is valid but partial; re-run with "
-                  f"--resume to complete it (journal: "
-                  f"{fleet.journal_dir}); inspect with "
+            print(f"the saved store is valid but partial "
+                  f"(journal: {fleet.journal_dir}); inspect with "
                   f"`repro fleet-status {args.out}`")
+            print("resume with exactly:\n  " + _resume_command(args))
             return 3
         # Full run: the journal has served its purpose.
         from .faults.journal import ShardJournal
@@ -843,6 +901,35 @@ def build_parser() -> argparse.ArgumentParser:
                                "the merged folded-stack profile "
                                "(flamegraph format; implies the fleet "
                                "path)")
+    generate.add_argument("--supervise", action="store_true",
+                          help="in-run supervision: reschedule crashed "
+                               "or hung workers, hedge stragglers, and "
+                               "quarantine poison shards instead of "
+                               "aborting (implies the fleet path)")
+    generate.add_argument("--max-attempts", type=int, default=3,
+                          metavar="N",
+                          help="supervised attempts per shard before "
+                               "it is quarantined for this run "
+                               "(default 3)")
+    generate.add_argument("--stall-after", type=float, default=None,
+                          metavar="SECONDS",
+                          help="heartbeat silence before a supervised "
+                               "worker counts as hung and is "
+                               "rescheduled (default 30; also recorded "
+                               "in the journal for fleet-status)")
+    generate.add_argument("--hedge-after", type=float, default=None,
+                          metavar="FACTOR",
+                          help="hedge a straggling shard once its "
+                               "attempt is older than FACTOR x the "
+                               "median completed-attempt duration; "
+                               "first completion wins (default: no "
+                               "hedging)")
+    generate.add_argument("--fault-budget", type=int, default=None,
+                          metavar="N",
+                          help="cap total supervised recovery attempts "
+                               "(reschedules + hedges); exhaustion "
+                               "quarantines the rest — fail fast on "
+                               "systemic breakage (default: unlimited)")
     generate.set_defaults(fn=_cmd_generate)
 
     report = sub.add_parser("report", parents=[obs_flags],
@@ -912,9 +999,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_status.add_argument(
         "out", help="the run's --out path (or its <out>.shards dir)")
     fleet_status.add_argument(
-        "--stall-after", type=float, default=30.0, metavar="SECONDS",
+        "--stall-after", type=float, default=None, metavar="SECONDS",
         help="heartbeat silence that flags a running shard as stalled "
-             "(default 30)")
+             "(default: the threshold the run recorded in its journal "
+             "manifest, or 30)")
     fleet_status.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the rendered view")

@@ -24,6 +24,7 @@ from .injector import (
     FaultInjector,
     InjectedFault,
     WorkerCrashError,
+    WorkerHangError,
     hint_fault,
 )
 from .journal import (
@@ -31,8 +32,10 @@ from .journal import (
     ShardEntry,
     ShardJournal,
     config_fingerprint,
+    degradation_path,
     folded_path,
     journal_dir_for,
+    supervision_log_path,
     write_shard_payload,
 )
 from .plan import FaultKind, FaultPlan, FaultSpec
@@ -49,9 +52,12 @@ __all__ = [
     "ShardEntry",
     "ShardJournal",
     "WorkerCrashError",
+    "WorkerHangError",
     "config_fingerprint",
+    "degradation_path",
     "folded_path",
     "hint_fault",
     "journal_dir_for",
+    "supervision_log_path",
     "write_shard_payload",
 ]

@@ -18,10 +18,10 @@ from typing import Any
 import numpy as np
 
 from ..obs.metrics import get_registry
-from .plan import FaultKind, FaultSpec
+from .plan import _WORKER_KINDS, FaultKind, FaultSpec
 
 __all__ = ["FaultInjector", "InjectedFault", "WorkerCrashError",
-           "hint_fault"]
+           "WorkerHangError", "hint_fault"]
 
 
 class WorkerCrashError(RuntimeError):
@@ -39,6 +39,17 @@ class WorkerCrashError(RuntimeError):
 
     def __str__(self) -> str:
         return self.message
+
+
+class WorkerHangError(WorkerCrashError):
+    """An injected worker hang observed where hanging is impossible.
+
+    In a real worker process an injected ``worker_hang`` enters a
+    sleep loop (progress and heartbeats stop; only a supervisor's
+    stall detection ends it). Inline shards cannot be allowed to hang
+    the driver, so the same fault degrades to this exception — the
+    supervisor treats both as ``failure_kind="worker_hang"``.
+    """
 
 
 @dataclass(frozen=True)
@@ -85,7 +96,7 @@ class FaultInjector:
     def __init__(self, specs: tuple[FaultSpec, ...],
                  rng: np.random.Generator) -> None:
         self.specs = tuple(s for s in specs
-                           if s.kind is not FaultKind.WORKER_CRASH)
+                           if s.kind not in _WORKER_KINDS)
         self.rng = rng
         self.injected = 0
         self._fired: dict[int, int] = {}

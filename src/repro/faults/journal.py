@@ -10,6 +10,9 @@ A fleet run with an output path ``corpus.db`` journals under
     shard-0002.spans.jsonl   the shard's trace spans (when tracing is on)
     shard-0002.folded        the shard's folded-stack profile (when profiling)
     shard-0002.status.json   live heartbeat (:mod:`repro.obs.fleetwatch`)
+    attempts/                per-attempt scratch dirs (supervised runs)
+    supervision.jsonl        supervision event log (supervised runs)
+    degradation.json         the DegradationReport of a partial run
 
 Workers persist their payload (``.db`` + ``.pkl``) the moment a shard
 finishes; the driver records the outcome entry as each result (or
@@ -32,7 +35,8 @@ import json
 import os
 import pickle
 import shutil
-from dataclasses import asdict, dataclass
+import time
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from ..mlmd.sqlite_store import load_store, save_store
@@ -40,15 +44,21 @@ from ..mlmd.store import MetadataStore
 from ..obs.metrics import MetricsRegistry, set_registry
 
 __all__ = ["JournalError", "ShardEntry", "ShardJournal",
-           "config_fingerprint", "folded_path", "journal_dir_for",
-           "spans_path", "write_shard_payload"]
+           "config_fingerprint", "degradation_path", "folded_path",
+           "journal_dir_for", "spans_path", "supervision_log_path",
+           "write_shard_payload"]
 
 MANIFEST = "manifest.json"
 #: Bumped whenever the payload/extras schema changes; the fingerprint
 #: covers it, so ``--resume`` refuses a journal from an older layout
 #: instead of loading half-compatible pickles. v2: per-shard instrument
 #: state records + phase timings replaced the counter-only tallies.
-JOURNAL_VERSION = 2
+#: v3: attempt-versioned outcome entries (``attempt`` /
+#: ``rescheduled_from`` / per-attempt ``history``) plus a
+#: ``quarantined`` status for the supervisor — entries from older
+#: journals still *parse* (missing fields default), but payload resume
+#: across versions stays refused via the fingerprint.
+JOURNAL_VERSION = 3
 
 
 class JournalError(RuntimeError):
@@ -94,6 +104,16 @@ def spans_path(directory: str | Path, shard_index: int) -> Path:
     return Path(directory) / (_stem(shard_index) + ".spans.jsonl")
 
 
+def supervision_log_path(directory: str | Path) -> Path:
+    """Where the supervisor's event log lives inside the journal dir."""
+    return Path(directory) / "supervision.jsonl"
+
+
+def degradation_path(directory: str | Path) -> Path:
+    """Where a partial run's DegradationReport lives in the journal."""
+    return Path(directory) / "degradation.json"
+
+
 def folded_path(directory: str | Path, shard_index: int) -> Path:
     """Where a shard's folded-stack profile lives inside the journal dir.
 
@@ -122,15 +142,31 @@ def write_shard_payload(directory: str | Path, shard_index: int,
 
 @dataclass
 class ShardEntry:
-    """One shard's journaled outcome."""
+    """One shard's journaled outcome, versioned by attempt.
+
+    ``attempt`` is the 1-based attempt that produced the recorded
+    outcome; ``rescheduled_from`` is the attempt it superseded (0 when
+    the first attempt sufficed); ``history`` keeps one dict per failed
+    attempt (``{"attempt", "failure_kind", "message"}``) so a merged
+    store's provenance survives even after the shard finally succeeds.
+    """
 
     shard_index: int
     start: int
     stop: int
-    status: str = "pending"  # pending | done | failed
+    status: str = "pending"  # pending | done | failed | quarantined
     crashes: int = 0
     error_kind: str = ""
     error_message: str = ""
+    attempt: int = 1
+    rescheduled_from: int = 0
+    history: list = field(default_factory=list)
+
+
+#: Fields a journaled entry may carry; unknown keys (from a future
+#: version) are dropped and missing keys (from an older version)
+#: default — the v2 -> v3 "back-compat load" contract.
+_ENTRY_FIELDS = frozenset(f.name for f in fields(ShardEntry))
 
 
 class ShardJournal:
@@ -143,11 +179,16 @@ class ShardJournal:
 
     # -------------------------------------------------------- lifecycle
 
-    def open(self, shards, resume: bool = False) -> None:
+    def open(self, shards, resume: bool = False,
+             meta: dict | None = None) -> None:
         """Create a fresh journal, or re-open one for ``--resume``.
 
         A fresh open wipes any stale journal at the same path; a resume
         requires the manifest fingerprint to match this run exactly.
+        ``meta`` carries advisory run settings (e.g. the stall
+        threshold) into the manifest — outside the fingerprint, so a
+        resume may change them freely; on resume the original
+        manifest (and its meta) is kept as written.
         """
         manifest_path = self.directory / MANIFEST
         if resume:
@@ -166,6 +207,11 @@ class ShardJournal:
                     entry = ShardEntry(spec.shard_index, spec.start,
                                        spec.stop)
                 self.entries[spec.shard_index] = entry
+            # The old run's degradation report describes a partial
+            # state this resume is about to change; drop it rather
+            # than letting fleet-status show stale accounting. The
+            # resuming supervisor rewrites it if shards fail again.
+            degradation_path(self.directory).unlink(missing_ok=True)
             return
         if self.directory.exists():
             shutil.rmtree(self.directory)
@@ -173,7 +219,8 @@ class ShardJournal:
         _atomic_write(manifest_path, json.dumps(
             {"version": JOURNAL_VERSION, "fingerprint": self.fingerprint,
              "shards": [(s.shard_index, s.start, s.stop)
-                        for s in shards]},
+                        for s in shards],
+             "meta": meta or {}},
             indent=2).encode())
         for spec in shards:
             self.entries[spec.shard_index] = ShardEntry(
@@ -194,7 +241,11 @@ class ShardJournal:
         if not path.exists():
             return None
         try:
-            return ShardEntry(**json.loads(path.read_text()))
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                return None
+            return ShardEntry(**{k: v for k, v in payload.items()
+                                 if k in _ENTRY_FIELDS})
         except (json.JSONDecodeError, TypeError):
             return None
 
@@ -214,24 +265,97 @@ class ShardJournal:
                 and (self.directory / (_stem(shard_index) + ".db")).exists()
                 and (self.directory / (_stem(shard_index) + ".pkl")).exists())
 
-    def record_done(self, shard_index: int) -> None:
+    def record_done(self, shard_index: int, attempt: int = 1,
+                    rescheduled_from: int = 0) -> None:
         """Mark a shard complete (its payload was already written)."""
         entry = self.entries[shard_index]
         entry.status = "done"
         entry.error_kind = entry.error_message = ""
+        entry.attempt = attempt
+        entry.rescheduled_from = rescheduled_from
         self._write_entry(entry)
 
     def record_failure(self, shard_index: int, kind: str, message: str,
-                       crashed: bool = False) -> None:
+                       crashed: bool = False, attempt: int = 1,
+                       rescheduled_from: int = 0) -> None:
         """Mark a shard failed; crashes are counted so an injected
         worker crash fires once per journal, not once per resume."""
         entry = self.entries[shard_index]
         entry.status = "failed"
         entry.error_kind = kind
         entry.error_message = message
+        entry.attempt = attempt
+        entry.rescheduled_from = rescheduled_from
+        entry.history.append({"attempt": attempt, "failure_kind": kind,
+                              "message": message})
         if crashed:
             entry.crashes += 1
         self._write_entry(entry)
+
+    def record_quarantine(self, shard_index: int, kind: str,
+                          message: str, attempt: int) -> None:
+        """Mark a shard quarantined: the supervisor gave up on it.
+
+        A quarantined shard is skipped by the merge (the run stays
+        partial-but-valid) and re-armed with fresh attempts by a later
+        ``--resume`` — quarantine is per run, not forever.
+        """
+        entry = self.entries[shard_index]
+        entry.status = "quarantined"
+        entry.error_kind = kind
+        entry.error_message = message
+        entry.attempt = attempt
+        self._write_entry(entry)
+
+    # ------------------------------------------------------- supervision
+
+    def record_event(self, event: str, **data) -> None:
+        """Append one supervision event to ``supervision.jsonl``.
+
+        Events are advisory diagnostics (reschedules, hedges,
+        quarantines, budget exhaustion) — an unwritable log never
+        fails the run.
+        """
+        record = {"ts": time.time(), "event": event, **data}
+        try:
+            with open(supervision_log_path(self.directory), "a") as fh:
+                fh.write(json.dumps(record) + "\n")
+        except OSError:
+            pass
+
+    def load_events(self) -> list[dict]:
+        """The supervision event log (empty if absent or torn)."""
+        events: list[dict] = []
+        try:
+            lines = supervision_log_path(
+                self.directory).read_text().splitlines()
+        except OSError:
+            return events
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+        return events
+
+    def write_degradation(self, report: dict) -> None:
+        """Persist a partial run's DegradationReport (atomic)."""
+        try:
+            _atomic_write(degradation_path(self.directory),
+                          json.dumps(report, indent=2).encode())
+        except OSError:
+            pass
+
+    def load_degradation(self) -> dict | None:
+        """The persisted DegradationReport, or ``None``."""
+        try:
+            payload = json.loads(
+                degradation_path(self.directory).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     # ---------------------------------------------------------- payload
 

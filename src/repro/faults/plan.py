@@ -53,10 +53,16 @@ class FaultKind(Enum):
     ARTIFACT_CORRUPTION = "artifact_corruption"
     #: Kills (or raises out of) an entire fleet worker mid-shard.
     WORKER_CRASH = "worker_crash"
+    #: Hangs an entire fleet worker mid-shard: the process stays alive
+    #: but stops making progress (and stops heartbeating) — the one
+    #: failure only stall detection can see.
+    WORKER_HANG = "worker_hang"
 
 
 _OPERATOR_KINDS = (FaultKind.TRANSIENT, FaultKind.PERMANENT,
                    FaultKind.STORE_WRITE, FaultKind.ARTIFACT_CORRUPTION)
+
+_WORKER_KINDS = (FaultKind.WORKER_CRASH, FaultKind.WORKER_HANG)
 
 
 @dataclass(frozen=True)
@@ -66,10 +72,15 @@ class FaultSpec:
     Operator kinds target executions: ``operator`` matches the operator
     type name or node id (``"*"`` = any), each candidate execution is
     faulted with ``probability``, and at most ``max_injections`` fire
-    per pipeline. ``WORKER_CRASH`` targets a fleet shard instead: the
-    worker simulating ``shard_index`` dies after ``after_pipelines``
-    completed pipelines, either by raising (``mode="raise"``) or by
-    killing the process outright (``mode="kill"``).
+    per pipeline. ``WORKER_CRASH`` and ``WORKER_HANG`` target a fleet
+    shard instead: the worker simulating ``shard_index`` dies (crash)
+    or stops making progress forever (hang) after ``after_pipelines``
+    completed pipelines. Crashes either raise (``mode="raise"``) or
+    kill the process outright (``mode="kill"``); hangs enter a sleep
+    loop that only a supervisor's stall detection can break. Worker
+    faults normally fire once per journal; ``repeat=True`` re-arms
+    them on every attempt (the systemically-broken-shard scenario that
+    exercises quarantine).
     """
 
     kind: FaultKind
@@ -80,16 +91,22 @@ class FaultSpec:
     shard_index: int | None = None
     after_pipelines: int = 1
     mode: str = "raise"
+    repeat: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind is FaultKind.WORKER_CRASH:
+        if self.kind in _WORKER_KINDS:
             if self.shard_index is None or self.shard_index < 0:
-                raise ValueError("worker_crash requires shard_index >= 0")
-            if self.mode not in ("raise", "kill"):
+                raise ValueError(
+                    f"{self.kind.value} requires shard_index >= 0")
+            if self.kind is FaultKind.WORKER_CRASH \
+                    and self.mode not in ("raise", "kill"):
                 raise ValueError(f"unknown crash mode {self.mode!r}")
             if self.after_pipelines < 1:
                 raise ValueError("after_pipelines must be >= 1")
         else:
+            if self.repeat:
+                raise ValueError(
+                    "repeat applies to worker faults only")
             if not 0.0 <= self.probability <= 1.0:
                 raise ValueError("probability must be in [0, 1]")
             if self.fail_attempts < 1:
@@ -104,10 +121,13 @@ class FaultSpec:
     def to_dict(self) -> dict:
         """Plain-JSON form (kind as its string value)."""
         out: dict = {"kind": self.kind.value}
-        if self.kind is FaultKind.WORKER_CRASH:
+        if self.kind in _WORKER_KINDS:
             out.update(shard_index=self.shard_index,
-                       after_pipelines=self.after_pipelines,
-                       mode=self.mode)
+                       after_pipelines=self.after_pipelines)
+            if self.kind is FaultKind.WORKER_CRASH:
+                out["mode"] = self.mode
+            if self.repeat:
+                out["repeat"] = True
         else:
             out.update(operator=self.operator,
                        probability=self.probability,
@@ -161,6 +181,14 @@ class FaultPlan:
                 return spec
         return None
 
+    def worker_fault(self, shard_index: int) -> FaultSpec | None:
+        """The crash *or* hang rule targeting ``shard_index``, if any."""
+        for spec in self.specs:
+            if (spec.kind in _WORKER_KINDS
+                    and spec.shard_index == shard_index):
+                return spec
+        return None
+
     def to_json(self) -> str:
         """Stable JSON form (used for journal fingerprints too)."""
         return json.dumps(
@@ -184,8 +212,11 @@ class FaultPlan:
 
         * ``KIND:OPERATOR:PROBABILITY[:MAX]`` for operator kinds, e.g.
           ``transient:Trainer:0.2`` or ``permanent:*:0.05:3``;
-        * ``worker_crash:SHARD[:AFTER[:MODE]]``, e.g.
-          ``worker_crash:1`` or ``worker_crash:1:2:kill``.
+        * ``worker_crash:SHARD[:AFTER[:MODE[:repeat]]]``, e.g.
+          ``worker_crash:1`` or ``worker_crash:1:2:kill``;
+        * ``worker_hang:SHARD[:AFTER[:repeat]]``, e.g.
+          ``worker_hang:1:2`` (``repeat`` re-arms the fault on every
+          supervised attempt instead of firing once per journal).
         """
         text = text.strip()
         if text.startswith("{"):
@@ -202,13 +233,21 @@ class FaultPlan:
                 kind = FaultKind(parts[0])
             except ValueError:
                 raise ValueError(f"unknown fault kind {parts[0]!r}") from None
-            if kind is FaultKind.WORKER_CRASH:
+            if kind in _WORKER_KINDS:
                 if len(parts) < 2:
-                    raise ValueError("worker_crash needs a shard index")
+                    raise ValueError(
+                        f"{kind.value} needs a shard index")
+                tail = parts[2:]
+                repeat = bool(tail) and tail[-1] == "repeat"
+                if repeat:
+                    tail = tail[:-1]
+                mode = "raise"
+                if kind is FaultKind.WORKER_CRASH and len(tail) > 1:
+                    mode = tail[1]
                 specs.append(FaultSpec(
                     kind=kind, shard_index=int(parts[1]),
-                    after_pipelines=int(parts[2]) if len(parts) > 2 else 1,
-                    mode=parts[3] if len(parts) > 3 else "raise"))
+                    after_pipelines=int(tail[0]) if tail else 1,
+                    mode=mode, repeat=repeat))
             else:
                 if len(parts) < 3:
                     raise ValueError(
@@ -224,10 +263,14 @@ class FaultPlan:
         """One line per rule, for CLI banners and failure reports."""
         lines = []
         for spec in self.specs:
-            if spec.kind is FaultKind.WORKER_CRASH:
+            if spec.kind in _WORKER_KINDS:
+                detail = spec.mode \
+                    if spec.kind is FaultKind.WORKER_CRASH else "hang"
+                if spec.repeat:
+                    detail += ", every attempt"
                 lines.append(
-                    f"worker_crash shard {spec.shard_index} after "
-                    f"{spec.after_pipelines} pipeline(s), {spec.mode}")
+                    f"{spec.kind.value} shard {spec.shard_index} after "
+                    f"{spec.after_pipelines} pipeline(s), {detail}")
             else:
                 cap = (f", max {spec.max_injections}"
                        if spec.max_injections is not None else "")

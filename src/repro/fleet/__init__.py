@@ -18,11 +18,22 @@ Fleet runs are crash-safe: with a shard journal
 (:mod:`repro.faults.journal`) a killed or crashing worker degrades the
 run to a partial-but-valid merged store plus structured
 :class:`ShardFailure` records, and ``resume=True`` re-simulates only
-the failed shards.
+the failed shards. With ``supervise=True`` the
+:class:`~repro.fleet.supervisor.FleetSupervisor` goes further and
+recovers *in-run*: crashed or hung workers are rescheduled, stragglers
+hedged, and poison shards quarantined behind a structured
+:class:`~repro.fleet.supervisor.DegradationReport`.
 """
 
 from .cache import CacheEntry, CachedOutput, ExecutionCache
 from .merge import MergeMaps, StoreSnapshot, merge_snapshot, snapshot_store
+from .supervisor import (
+    DegradationReport,
+    FleetSupervisor,
+    QuarantinedShard,
+    SupervisorPolicy,
+    render_degradation,
+)
 from .workers import (
     FleetReport,
     ShardFailure,
@@ -37,17 +48,22 @@ from .workers import (
 __all__ = [
     "CacheEntry",
     "CachedOutput",
+    "DegradationReport",
     "ExecutionCache",
     "FleetReport",
+    "FleetSupervisor",
     "MergeMaps",
+    "QuarantinedShard",
     "ShardFailure",
     "ShardResult",
     "ShardSpec",
     "StoreSnapshot",
+    "SupervisorPolicy",
     "generate_corpus_fleet",
     "merge_snapshot",
     "pipeline_rng",
     "plan_shards",
+    "render_degradation",
     "run_shard",
     "snapshot_store",
 ]

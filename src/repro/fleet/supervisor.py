@@ -1,0 +1,814 @@
+"""In-run fleet supervision: reschedule, hedge, quarantine.
+
+Before this module, a fleet run *detected* worker failure (the shard
+journal records it, ``fleet-status`` renders it) but could only act on
+it across runs: exit 3, human re-runs with ``--resume``. Production
+corpora at paper scale (7.7M executions) cannot assume a fault-free
+multi-hour run, so the :class:`FleetSupervisor` closes the detect → act
+loop *inside* the run:
+
+* **Reschedule** — a worker that crashes (raises, is killed, or dies
+  without a result) or whose heartbeat goes silent beyond
+  ``stall_after`` seconds gets its shard re-run on a fresh worker,
+  with attempt provenance (``attempt`` / ``rescheduled_from`` /
+  ``failure_kind``) journaled. Pipelines derive their rngs from
+  ``(seed, global index)`` only, so a rescheduled shard produces rows
+  byte-identical to a first-try shard — the merged store of a
+  recovered run equals the fault-free run exactly.
+* **Hedge** — once at least half the shards have finished, a running
+  shard whose attempt has been live longer than ``hedge_after`` times
+  the median completed-attempt duration gets a speculative second copy.
+  First completion wins; the loser is terminated. Ties break toward
+  the lowest attempt number — and because both copies run the same
+  per-pipeline rng streams they are byte-identical, so the winner
+  choice *cannot* change the merged rows, only the wall clock.
+* **Quarantine** — a shard that fails ``max_attempts`` times is given
+  up on for this run: the merge skips it, the run completes as a
+  partial-but-valid store, and a structured :class:`DegradationReport`
+  (quarantined shards, lost pipelines, attempts histogram,
+  recovered-vs-lost compute) is persisted as ``degradation.json`` in
+  the journal and rendered by ``repro fleet-status``. A later
+  ``--resume`` re-arms quarantined shards with fresh attempts.
+* **Fault budget** — ``fault_budget`` caps total recovery attempts
+  (reschedules + hedges) across the run. A systemically broken run
+  (every worker dying) exhausts the budget after a handful of
+  attempts and fails fast with a diagnosis instead of thrashing
+  through ``shards × max_attempts`` doomed re-runs.
+
+Supervised attempts run as dedicated ``multiprocessing.Process``
+workers (not a ``ProcessPoolExecutor``): a pool cannot terminate one
+hung member, which is precisely the recovery a supervisor exists to
+perform. Each attempt gets a private scratch directory under
+``<journal>/attempts/`` for its payload and heartbeat; the winning
+attempt's files are promoted into the canonical journal names so
+``--resume`` and ``fleet-status`` see exactly the layout an
+unsupervised run produces. When process spawn is unavailable (sandbox,
+``in_process=True``) the supervisor degrades to inline attempts:
+reschedule and quarantine semantics are identical, while stall
+detection and hedging — which require a concurrently observable
+worker — are naturally inert.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import statistics
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..corpus.config import CorpusConfig
+from ..faults.injector import WorkerCrashError, WorkerHangError
+from ..faults.journal import ShardJournal
+from ..faults.plan import FaultKind, FaultPlan
+from ..faults.retry import RetryPolicy
+from ..obs.fleetwatch import DEFAULT_STALL_AFTER, read_status_file
+from ..obs.logging import get_logger
+from ..obs.tracing import TraceContext
+
+__all__ = [
+    "DegradationReport",
+    "FleetSupervisor",
+    "QuarantinedShard",
+    "SupervisorPolicy",
+    "render_degradation",
+]
+
+_log = get_logger("fleet.supervisor")
+
+#: Exit code of an injected kill-mode worker crash (see workers.py).
+_KILL_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """The supervision knobs, CLI-surfaced as ``generate --supervise``.
+
+    ``hedge_after`` is a straggler factor, not seconds: a shard is
+    hedged when its running attempt is older than ``hedge_after ×
+    median completed-attempt duration`` (and at least half the shards
+    have completed, so the median means something). ``None`` disables
+    hedging. ``fault_budget=None`` means unlimited recovery attempts.
+    """
+
+    max_attempts: int = 3
+    stall_after: float = DEFAULT_STALL_AFTER
+    hedge_after: float | None = None
+    fault_budget: int | None = None
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.stall_after <= 0:
+            raise ValueError("stall_after must be > 0")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ValueError("hedge_after must be > 0")
+        if self.fault_budget is not None and self.fault_budget < 0:
+            raise ValueError("fault_budget must be >= 0")
+
+
+@dataclass(frozen=True)
+class QuarantinedShard:
+    """One shard the supervisor gave up on this run."""
+
+    shard_index: int
+    start: int
+    stop: int
+    attempts: int
+    failure_kind: str
+    message: str
+    reason: str  # max_attempts | fault_budget
+
+    @property
+    def n_pipelines(self) -> int:
+        """Pipelines lost to this quarantine."""
+        return self.stop - self.start
+
+
+@dataclass
+class DegradationReport:
+    """How far a supervised run degraded from the fault-free ideal.
+
+    The pipeline accounting is an exact partition:
+    ``merged_pipelines + lost_pipelines == planned_pipelines`` — every
+    planned pipeline is either in the merged store or attributed to a
+    named quarantined shard. ``recovered_*`` tallies work that
+    in-run supervision saved (winning attempts > 1);
+    ``lost_cpu_seconds`` is compute spent on attempts that produced
+    nothing (failed, stalled, or hedge losers).
+    """
+
+    planned_pipelines: int
+    planned_shards: int
+    merged_pipelines: int = 0
+    quarantined: list[QuarantinedShard] = field(default_factory=list)
+    attempts_histogram: dict[int, int] = field(default_factory=dict)
+    reschedules: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    stalls_detected: int = 0
+    fault_budget: int | None = None
+    budget_spent: int = 0
+    budget_exhausted: bool = False
+    recovered_pipelines: int = 0
+    recovered_cpu_seconds: float = 0.0
+    lost_cpu_seconds: float = 0.0
+
+    @property
+    def lost_pipelines(self) -> int:
+        """Pipelines missing from the merged store (quarantined)."""
+        return sum(q.n_pipelines for q in self.quarantined)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run is partial (any shard quarantined)."""
+        return bool(self.quarantined)
+
+    @property
+    def recovered_shards(self) -> int:
+        """Shards that completed only thanks to supervision."""
+        return sum(count for attempts, count
+                   in self.attempts_histogram.items() if attempts > 1) \
+            - len(self.quarantined)
+
+    def to_dict(self) -> dict:
+        """JSON shape persisted as ``degradation.json``."""
+        out = asdict(self)
+        out["lost_pipelines"] = self.lost_pipelines
+        out["degraded"] = self.degraded
+        # JSON objects key by string; keep the histogram round-trippable.
+        out["attempts_histogram"] = {
+            str(k): v for k, v in sorted(self.attempts_histogram.items())}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationReport":
+        """Inverse of :meth:`to_dict` (tolerant of missing keys)."""
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["quarantined"] = [
+            QuarantinedShard(**q) for q in data.get("quarantined", [])]
+        kwargs["attempts_histogram"] = {
+            int(k): int(v)
+            for k, v in data.get("attempts_histogram", {}).items()}
+        kwargs.setdefault("planned_pipelines", 0)
+        kwargs.setdefault("planned_shards", 0)
+        return cls(**kwargs)
+
+
+def render_degradation(report: DegradationReport) -> str:
+    """Human-readable degradation block for the CLI and fleet-status."""
+    lines = []
+    if report.degraded:
+        lines.append(
+            f"degraded run: {report.merged_pipelines}/"
+            f"{report.planned_pipelines} pipelines merged, "
+            f"{report.lost_pipelines} lost to "
+            f"{len(report.quarantined)} quarantined shard(s)")
+        for q in report.quarantined:
+            lines.append(
+                f"  quarantined shard {q.shard_index} "
+                f"[pipelines {q.start}..{q.stop - 1}] after "
+                f"{q.attempts} attempt(s): {q.failure_kind}: "
+                f"{q.message} ({q.reason})")
+    else:
+        lines.append(
+            f"recovered run: all {report.planned_pipelines} pipelines "
+            f"merged despite {report.reschedules} reschedule(s)")
+    histogram = ", ".join(
+        f"{attempts}x{count}" for attempts, count
+        in sorted(report.attempts_histogram.items()))
+    lines.append(f"  attempts histogram (attempts x shards): {histogram}")
+    lines.append(
+        f"  supervision: {report.reschedules} reschedule(s), "
+        f"{report.stalls_detected} stall(s) detected, "
+        f"{report.hedges} hedge(s) ({report.hedge_wins} won)")
+    lines.append(
+        f"  compute: {report.recovered_cpu_seconds:.1f}s recovered on "
+        f"{report.recovered_pipelines} pipeline(s), "
+        f"{report.lost_cpu_seconds:.1f}s lost to dead attempts")
+    if report.fault_budget is not None:
+        exhausted = " — EXHAUSTED, run failed fast" \
+            if report.budget_exhausted else ""
+        lines.append(
+            f"  fault budget: {report.budget_spent}/"
+            f"{report.fault_budget} recovery attempts{exhausted}")
+    return "\n".join(lines)
+
+
+def _attempt_main(conn, spec, config, telemetry, exec_cache, fault_plan,
+                  retry_policy, attempt_dir, armed, trace_ctx, profile,
+                  attempt) -> None:
+    """Worker-process entry point for one supervised attempt.
+
+    Sends exactly one message on ``conn``: ``("done", shard, attempt,
+    ShardResult)`` or ``("failed", shard, attempt, kind, message)``.
+    A kill-mode injected crash exits the process without sending; an
+    injected hang sleeps forever without sending — the supervisor
+    reads both from process state, not the pipe.
+    """
+    from .workers import run_shard
+
+    try:
+        result = run_shard(
+            spec, config, telemetry, exec_cache, fault_plan,
+            retry_policy, attempt_dir, armed, trace_ctx=trace_ctx,
+            serialize=True, profile=profile, attempt=attempt)
+    except WorkerHangError as exc:
+        _send(conn, ("failed", spec.shard_index, attempt,
+                     "worker_hang", str(exc)))
+    except WorkerCrashError as exc:
+        _send(conn, ("failed", spec.shard_index, attempt,
+                     "worker_crash", str(exc)))
+    except Exception as exc:  # one attempt lost, never the supervisor
+        _send(conn, ("failed", spec.shard_index, attempt, "error",
+                     f"{type(exc).__name__}: {exc}"))
+    else:
+        _send(conn, ("done", spec.shard_index, attempt, result))
+    finally:
+        conn.close()
+
+
+def _send(conn, message) -> None:
+    try:
+        conn.send(message)
+    except (BrokenPipeError, OSError):
+        pass  # The supervisor went away; nothing left to report to.
+
+
+@dataclass
+class _Attempt:
+    """One live (or just-finished) attempt the supervisor tracks."""
+
+    spec: object
+    attempt: int
+    process: object
+    conn: object
+    directory: Path
+    started: float
+    hedge: bool = False
+
+    @property
+    def shard_index(self) -> int:
+        return self.spec.shard_index
+
+
+@dataclass
+class _ShardState:
+    """Supervision bookkeeping for one shard."""
+
+    spec: object
+    attempts_used: int = 0
+    live: list = field(default_factory=list)
+    done: bool = False
+    quarantined: bool = False
+    last_kind: str = ""
+    last_message: str = ""
+    last_failed_attempt: int = 0
+    winning_attempt: int = 0
+
+
+class FleetSupervisor:
+    """Coordinator-side supervision loop for one fleet run.
+
+    Constructed by :func:`~repro.fleet.workers.generate_corpus_fleet`
+    when ``supervise=True``; :meth:`run` replaces the plain pool loop
+    for the shards that still need simulating.
+    """
+
+    def __init__(self, config: CorpusConfig, journal: ShardJournal,
+                 policy: SupervisorPolicy | None = None, *,
+                 telemetry: bool = False, exec_cache: bool = False,
+                 fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 trace_ctx_for=None, profile: bool = False,
+                 in_process: bool = False) -> None:
+        self.config = config
+        self.journal = journal
+        self.policy = policy or SupervisorPolicy()
+        self.telemetry = telemetry
+        self.exec_cache = exec_cache
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.trace_ctx_for = trace_ctx_for or (lambda spec, attempt: None)
+        self.profile = profile
+        self.in_process = in_process
+        self.used_processes = False
+        self._inline = False
+        self.results: dict[int, object] = {}
+        self.failures: dict[int, object] = {}
+        self._state: dict[int, _ShardState] = {}
+        self._report: DegradationReport | None = None
+
+    # ------------------------------------------------------------ public
+
+    def run(self, to_run, armed: dict[int, bool],
+            planned_pipelines: int | None = None,
+            planned_shards: int | None = None,
+            pre_merged_pipelines: int = 0):
+        """Supervise ``to_run`` to completion or quarantine.
+
+        ``armed`` says, per shard, whether an injected worker fault may
+        still fire (it fires once per journal unless ``repeat``).
+        ``planned_*`` / ``pre_merged_pipelines`` fold already-resumed
+        shards into the report so its accounting partitions the whole
+        plan, not just the re-run slice.
+
+        Returns ``(results, failures, report)`` — the same shapes the
+        unsupervised pool loop produces, plus the
+        :class:`DegradationReport`.
+        """
+        self._state = {spec.shard_index: _ShardState(spec=spec)
+                       for spec in to_run}
+        self._report = DegradationReport(
+            planned_pipelines=planned_pipelines
+            if planned_pipelines is not None
+            else sum(s.n_pipelines for s in to_run),
+            planned_shards=planned_shards if planned_shards is not None
+            else len(to_run),
+            fault_budget=self.policy.fault_budget)
+        self._report.merged_pipelines = pre_merged_pipelines
+        self._armed_first = dict(armed)
+        if not to_run:
+            return self.results, self.failures, self._finalize()
+        self.journal.record_event(
+            "supervision_started", shards=len(to_run),
+            max_attempts=self.policy.max_attempts,
+            stall_after=self.policy.stall_after,
+            hedge_after=self.policy.hedge_after,
+            fault_budget=self.policy.fault_budget)
+        if self.in_process:
+            self._run_inline(to_run)
+        else:
+            self._run_processes(to_run)
+        return self.results, self.failures, self._finalize()
+
+    @property
+    def report(self) -> DegradationReport | None:
+        """The degradation report (available after :meth:`run`)."""
+        return self._report
+
+    # ------------------------------------------------------ process mode
+
+    def _run_processes(self, to_run) -> None:
+        launched_any = False
+        try:
+            for spec in to_run:
+                self._launch(spec, attempt=1,
+                             armed=self._armed_first.get(
+                                 spec.shard_index, True))
+                launched_any = True
+        except OSError as exc:
+            # The sandbox denied processes. Terminate anything that did
+            # start, then degrade every unresolved shard to inline.
+            _log.warning("supervisor_pool_unavailable",
+                         reason=type(exc).__name__, fallback="inline")
+            for state in self._state.values():
+                for attempt in state.live:
+                    self._reap(attempt, terminate=True)
+                state.live.clear()
+            self._cleanup_attempt_dirs()
+            self._run_inline([s.spec for s in self._state.values()
+                              if not s.done and not s.quarantined])
+            return
+        if launched_any:
+            self.used_processes = True
+        while any(state.live for state in self._state.values()):
+            progressed = self._poll()
+            now = time.time()
+            self._check_stalls(now)
+            self._maybe_hedge(now)
+            if not progressed:
+                time.sleep(self.policy.poll_interval)
+        self._cleanup_attempt_dirs()
+
+    def _launch(self, spec, attempt: int, armed: bool,
+                hedge: bool = False) -> None:
+        attempt_dir = (self.journal.directory / "attempts"
+                       / f"shard-{spec.shard_index:04d}-a{attempt}")
+        attempt_dir.mkdir(parents=True, exist_ok=True)
+        recv_conn, send_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_attempt_main,
+            args=(send_conn, spec, self.config, self.telemetry,
+                  self.exec_cache, self.fault_plan, self.retry_policy,
+                  str(attempt_dir), armed,
+                  self.trace_ctx_for(spec, attempt), self.profile,
+                  attempt),
+            daemon=True)
+        try:
+            process.start()
+        finally:
+            send_conn.close()  # Parent keeps only the read end.
+        state = self._state[spec.shard_index]
+        state.attempts_used = max(state.attempts_used, attempt)
+        state.live.append(_Attempt(
+            spec=spec, attempt=attempt, process=process, conn=recv_conn,
+            directory=attempt_dir, started=time.time(), hedge=hedge))
+        self.journal.record_event(
+            "attempt_started", shard=spec.shard_index, attempt=attempt,
+            hedge=hedge, armed=armed, pid=process.pid)
+
+    def _poll(self) -> bool:
+        """Drain attempt outcomes; returns whether anything resolved.
+
+        Attempts are visited in (shard, attempt) order, so when a
+        hedge pair both have results buffered, the lower attempt wins
+        deterministically — harmless for row content (identical rng
+        makes the copies byte-identical) but it keeps journaled
+        provenance stable run-to-run.
+        """
+        progressed = False
+        for state in self._state.values():
+            for attempt in sorted(list(state.live),
+                                  key=lambda a: a.attempt):
+                if attempt not in state.live:
+                    continue  # A sibling's win already reaped it.
+                message = None
+                try:
+                    if attempt.conn.poll():
+                        message = attempt.conn.recv()
+                except (EOFError, OSError):
+                    message = None  # Died mid-send: treat as dead below.
+                if message is not None:
+                    progressed = True
+                    self._handle_message(state, attempt, message)
+                elif not attempt.process.is_alive():
+                    progressed = True
+                    self._handle_dead(state, attempt)
+        return progressed
+
+    def _handle_message(self, state: _ShardState, attempt: _Attempt,
+                        message) -> None:
+        kind = message[0]
+        if kind == "done":
+            result = message[3]
+            self._reap(attempt)
+            state.live.remove(attempt)
+            self._complete(state, attempt, result)
+        else:
+            _, _, _, failure_kind, failure_message = message
+            self._reap(attempt)
+            state.live.remove(attempt)
+            self._attempt_failed(state, attempt, failure_kind,
+                                 failure_message,
+                                 crashed=failure_kind in (
+                                     "worker_crash", "worker_hang"))
+
+    def _handle_dead(self, state: _ShardState, attempt: _Attempt) -> None:
+        """A process died without delivering a result (kill / OOM)."""
+        exitcode = attempt.process.exitcode
+        self._reap(attempt)
+        state.live.remove(attempt)
+        detail = "injected kill" if exitcode == _KILL_EXIT_CODE \
+            else f"exitcode {exitcode}"
+        self._attempt_failed(
+            state, attempt, "worker_killed",
+            f"worker for shard {attempt.shard_index} attempt "
+            f"{attempt.attempt} died without a result ({detail})",
+            crashed=True)
+
+    def _check_stalls(self, now: float) -> None:
+        """Terminate attempts whose heartbeat went silent too long."""
+        for state in self._state.values():
+            for attempt in list(state.live):
+                last = self._last_heartbeat(attempt)
+                if now - last <= self.policy.stall_after:
+                    continue
+                self._report.stalls_detected += 1
+                self.journal.record_event(
+                    "stall_detected", shard=attempt.shard_index,
+                    attempt=attempt.attempt,
+                    silent_seconds=round(now - last, 3))
+                self._reap(attempt, terminate=True)
+                state.live.remove(attempt)
+                self._attempt_failed(
+                    state, attempt, "worker_hang",
+                    f"no heartbeat for {now - last:.1f}s "
+                    f"(stall threshold {self.policy.stall_after:.1f}s)",
+                    crashed=True)
+
+    def _last_heartbeat(self, attempt: _Attempt) -> float:
+        beat = read_status_file(
+            attempt.directory
+            / f"shard-{attempt.shard_index:04d}.status.json")
+        updated = float(beat.get("updated_unix", 0.0)) if beat else 0.0
+        return max(attempt.started, updated)
+
+    def _maybe_hedge(self, now: float) -> None:
+        if self.policy.hedge_after is None:
+            return
+        durations = [self.results[i].elapsed_seconds
+                     for i, s in self._state.items() if s.done]
+        if len(durations) < max(1, (len(self._state) + 1) // 2):
+            return
+        threshold = self.policy.hedge_after * statistics.median(durations)
+        for state in self._state.values():
+            if state.done or state.quarantined or len(state.live) != 1:
+                continue
+            attempt = state.live[0]
+            if now - attempt.started <= threshold:
+                continue
+            if state.attempts_used >= self.policy.max_attempts \
+                    or not self._spend_budget():
+                continue
+            hedge_attempt = state.attempts_used + 1
+            self._report.hedges += 1
+            self.journal.record_event(
+                "hedged", shard=state.spec.shard_index,
+                straggler_attempt=attempt.attempt,
+                hedge_attempt=hedge_attempt,
+                straggler_elapsed=round(now - attempt.started, 3),
+                threshold=round(threshold, 3))
+            # Hedges run disarmed: they are recovery copies, and an
+            # identical injected fault would just burn the budget.
+            self._launch(state.spec, attempt=hedge_attempt,
+                         armed=False, hedge=True)
+
+    # ------------------------------------------------------- inline mode
+
+    def _run_inline(self, to_run) -> None:
+        """Sequential fallback: same reschedule/quarantine semantics.
+
+        Stall detection and hedging need a concurrently observable
+        worker, so they are inert here — an injected hang degrades to
+        :class:`WorkerHangError` inside ``run_shard`` (inline shards
+        must never hang the driver) and lands in the same
+        ``worker_hang`` reschedule path. The while loop *is* the
+        rescheduler: ``_attempt_failed`` only decides reschedule vs
+        quarantine, and a shard left neither done nor quarantined is
+        re-attempted.
+        """
+        from .workers import run_shard
+
+        self._inline = True
+        for spec in to_run:
+            state = self._state[spec.shard_index]
+            armed = self._armed_first.get(spec.shard_index, True)
+            while not state.done and not state.quarantined:
+                attempt = state.attempts_used + 1
+                state.attempts_used = attempt
+                self.journal.record_event(
+                    "attempt_started", shard=spec.shard_index,
+                    attempt=attempt, hedge=False, armed=armed,
+                    pid=os.getpid())
+                started = time.time()
+                shim = _Attempt(spec=spec, attempt=attempt,
+                                process=None, conn=None,
+                                directory=self.journal.directory,
+                                started=started)
+                try:
+                    result = run_shard(
+                        spec, self.config, self.telemetry,
+                        self.exec_cache, self.fault_plan,
+                        self.retry_policy, self.journal.directory,
+                        armed,
+                        trace_ctx=self.trace_ctx_for(spec, attempt),
+                        profile=self.profile, attempt=attempt)
+                except WorkerHangError as exc:
+                    self._attempt_failed(state, shim, "worker_hang",
+                                         str(exc), crashed=True)
+                except WorkerCrashError as exc:
+                    self._attempt_failed(state, shim, "worker_crash",
+                                         str(exc), crashed=True)
+                except Exception as exc:
+                    self._attempt_failed(
+                        state, shim, "error",
+                        f"{type(exc).__name__}: {exc}")
+                else:
+                    self._complete(state, shim, result, promote=False)
+                # A rescheduled attempt runs disarmed unless the fault
+                # plan says the shard is broken every time.
+                armed = self._repeat_fault(spec.shard_index)
+
+    # ------------------------------------------------------- transitions
+
+    def _complete(self, state: _ShardState, attempt: _Attempt,
+                  result, promote: bool = True) -> None:
+        if state.done:
+            # A sibling (hedge) already won; this copy's work is moot.
+            self._report.lost_cpu_seconds += result.elapsed_seconds
+            self.journal.record_event(
+                "hedge_lost", shard=attempt.shard_index,
+                attempt=attempt.attempt, outcome="finished_second")
+            return
+        state.done = True
+        state.winning_attempt = attempt.attempt
+        result.transfer_seconds = max(
+            0.0, time.time() - result.finished_unix)
+        self.results[attempt.shard_index] = result
+        if promote:
+            self._promote(attempt)
+        rescheduled_from = state.last_failed_attempt \
+            if attempt.attempt > 1 else 0
+        self.journal.record_done(attempt.shard_index,
+                                 attempt=attempt.attempt,
+                                 rescheduled_from=rescheduled_from)
+        self.journal.record_event(
+            "attempt_completed", shard=attempt.shard_index,
+            attempt=attempt.attempt, hedge=attempt.hedge,
+            elapsed=round(result.elapsed_seconds, 3),
+            rescheduled_from=rescheduled_from)
+        self._report.merged_pipelines += attempt.spec.n_pipelines
+        if attempt.attempt > 1:
+            self._report.recovered_pipelines += attempt.spec.n_pipelines
+            self._report.recovered_cpu_seconds += result.elapsed_seconds
+            if attempt.hedge:
+                self._report.hedge_wins += 1
+        # First-completion-wins: cancel the slower sibling copies.
+        for sibling in list(state.live):
+            self._report.lost_cpu_seconds += \
+                time.time() - sibling.started
+            self.journal.record_event(
+                "hedge_lost", shard=sibling.shard_index,
+                attempt=sibling.attempt, outcome="terminated")
+            self._reap(sibling, terminate=True)
+            state.live.remove(sibling)
+
+    def _attempt_failed(self, state: _ShardState, attempt: _Attempt,
+                        kind: str, message: str,
+                        crashed: bool = False) -> None:
+        if state.done:
+            # The hedge sibling already delivered this shard.
+            self._report.lost_cpu_seconds += \
+                time.time() - attempt.started
+            return
+        self._report.lost_cpu_seconds += time.time() - attempt.started
+        rescheduled_from = state.last_failed_attempt
+        state.last_kind = kind
+        state.last_message = message
+        state.last_failed_attempt = attempt.attempt
+        self.journal.record_failure(
+            attempt.shard_index, kind, message, crashed=crashed,
+            attempt=attempt.attempt, rescheduled_from=rescheduled_from)
+        self.journal.record_event(
+            "attempt_failed", shard=attempt.shard_index,
+            attempt=attempt.attempt, failure_kind=kind, message=message)
+        _log.warning("supervised_attempt_failed",
+                     shard=attempt.shard_index, attempt=attempt.attempt,
+                     kind=kind, reason=message)
+        if state.live:
+            # A hedge copy is still running — it may yet deliver, and
+            # its own failure will re-enter this path with the live
+            # list empty.
+            return
+        if state.attempts_used >= self.policy.max_attempts:
+            self._quarantine(state, reason="max_attempts")
+        elif not self._spend_budget():
+            self._quarantine(state, reason="fault_budget")
+        else:
+            self._reschedule(state)
+
+    def _reschedule(self, state: _ShardState) -> None:
+        next_attempt = state.attempts_used + 1
+        self._report.reschedules += 1
+        self.journal.record_event(
+            "rescheduled", shard=state.spec.shard_index,
+            attempt=next_attempt,
+            rescheduled_from=state.last_failed_attempt,
+            failure_kind=state.last_kind)
+        if self._inline:
+            # The inline while-loop re-attempts any shard left neither
+            # done nor quarantined; launching here would double-run it.
+            return
+        # The injected worker fault fired once already; only a
+        # ``repeat`` spec (systemically broken shard) re-arms it.
+        self._launch(state.spec, attempt=next_attempt,
+                     armed=self._repeat_fault(state.spec.shard_index))
+
+    def _quarantine(self, state: _ShardState, reason: str) -> None:
+        from .workers import ShardFailure
+
+        state.quarantined = True
+        spec = state.spec
+        if reason == "fault_budget":
+            self._report.budget_exhausted = True
+        self.journal.record_quarantine(
+            spec.shard_index, state.last_kind, state.last_message,
+            attempt=state.attempts_used)
+        self.journal.record_event(
+            "quarantined", shard=spec.shard_index,
+            attempts=state.attempts_used, reason=reason,
+            failure_kind=state.last_kind)
+        _log.warning("shard_quarantined", shard=spec.shard_index,
+                     attempts=state.attempts_used, reason=reason,
+                     kind=state.last_kind)
+        self.failures[spec.shard_index] = ShardFailure(
+            spec.shard_index, spec.start, spec.stop, state.last_kind,
+            f"quarantined after {state.attempts_used} attempt(s) "
+            f"({reason}): {state.last_message}")
+        self._report.quarantined.append(QuarantinedShard(
+            shard_index=spec.shard_index, start=spec.start,
+            stop=spec.stop, attempts=state.attempts_used,
+            failure_kind=state.last_kind, message=state.last_message,
+            reason=reason))
+
+    def _spend_budget(self) -> bool:
+        """Consume one recovery attempt from the fault budget."""
+        budget = self.policy.fault_budget
+        if budget is not None and self._report.budget_spent >= budget:
+            return False
+        self._report.budget_spent += 1
+        return True
+
+    def _repeat_fault(self, shard_index: int) -> bool:
+        if self.fault_plan is None:
+            return False
+        spec = self.fault_plan.worker_fault(shard_index)
+        return spec is not None and spec.repeat
+
+    # ---------------------------------------------------------- plumbing
+
+    def _reap(self, attempt: _Attempt, terminate: bool = False) -> None:
+        if attempt.process is not None:
+            if terminate and attempt.process.is_alive():
+                attempt.process.terminate()
+            attempt.process.join(timeout=5.0)
+            if attempt.process.is_alive():  # terminate() ignored
+                attempt.process.kill()
+                attempt.process.join(timeout=5.0)
+        if attempt.conn is not None:
+            try:
+                attempt.conn.close()
+            except OSError:
+                pass
+
+    def _promote(self, attempt: _Attempt) -> None:
+        """Move the winning attempt's files to canonical journal names.
+
+        After promotion the journal looks exactly like an unsupervised
+        run wrote it — ``--resume`` and ``fleet-status`` need no
+        supervision awareness to read it.
+        """
+        stem = f"shard-{attempt.shard_index:04d}"
+        for suffix in (".db", ".pkl", ".spans.jsonl", ".folded",
+                       ".status.json"):
+            source = attempt.directory / (stem + suffix)
+            if source.exists():
+                os.replace(source, self.journal.directory
+                           / (stem + suffix))
+        shutil.rmtree(attempt.directory, ignore_errors=True)
+
+    def _cleanup_attempt_dirs(self) -> None:
+        shutil.rmtree(self.journal.directory / "attempts",
+                      ignore_errors=True)
+
+    def _finalize(self) -> DegradationReport:
+        report = self._report
+        for state in self._state.values():
+            report.attempts_histogram[state.attempts_used] = \
+                report.attempts_histogram.get(state.attempts_used, 0) + 1
+        if report.degraded:
+            # Partial run: the journal outlives the run, so the report
+            # does too (fleet-status renders it post-mortem).
+            self.journal.write_degradation(report.to_dict())
+        self.journal.record_event(
+            "supervision_finished", merged=report.merged_pipelines,
+            lost=report.lost_pipelines, reschedules=report.reschedules,
+            hedges=report.hedges, quarantined=len(report.quarantined),
+            budget_spent=report.budget_spent,
+            budget_exhausted=report.budget_exhausted)
+        return report

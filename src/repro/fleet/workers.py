@@ -69,13 +69,13 @@ from ..corpus.config import CorpusConfig
 from ..corpus.generator import (Corpus, PipelineRecord, ProgressCallback,
                                 print_progress_every, sample_pipeline_plan,
                                 _simulate_pipeline)
-from ..faults.injector import WorkerCrashError
+from ..faults.injector import WorkerCrashError, WorkerHangError
 from ..faults.journal import (ShardJournal, config_fingerprint, folded_path,
                               spans_path, write_shard_payload)
-from ..faults.plan import FaultPlan, FaultSpec
+from ..faults.plan import FaultKind, FaultPlan, FaultSpec
 from ..faults.retry import RetryPolicy
 from ..mlmd import MetadataStore
-from ..obs.fleetwatch import ShardHeartbeat
+from ..obs.fleetwatch import DEFAULT_STALL_AFTER, ShardHeartbeat
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
 from ..obs.tracing import TraceContext, Tracer, get_tracer, set_tracer, span
@@ -198,17 +198,29 @@ class ShardFailure:
         return self.stop - self.start
 
 
-def _maybe_crash(crash: FaultSpec | None, spec: ShardSpec,
-                 completed: int) -> None:
-    """Fire an injected worker crash once ``completed`` pipelines ran.
+def _maybe_worker_fault(fault: FaultSpec | None, spec: ShardSpec,
+                        completed: int) -> None:
+    """Fire an injected worker fault once ``completed`` pipelines ran.
 
-    ``mode="kill"`` dies with ``os._exit`` — but only inside a real
-    worker process; inline shards degrade to the raising mode so a
-    single-process run never takes the driver down with it.
+    Crash ``mode="kill"`` dies with ``os._exit``; a ``worker_hang``
+    stops making progress (and heartbeating) forever — the shape of
+    failure only a supervisor's stall detection can end. Both are
+    worker-process-only: inline shards degrade to raising
+    (:class:`WorkerCrashError` / :class:`WorkerHangError`) so a
+    single-process run never takes the driver down — or hangs it.
     """
-    if crash is None or completed != crash.after_pipelines:
+    if fault is None or completed != fault.after_pipelines:
         return
-    if crash.mode == "kill" and multiprocessing.parent_process() is not None:
+    in_worker = multiprocessing.parent_process() is not None
+    if fault.kind is FaultKind.WORKER_HANG:
+        if in_worker:
+            while True:  # Alive but silent, until SIGTERM.
+                time.sleep(3600)
+        raise WorkerHangError(
+            spec.shard_index,
+            f"injected worker hang in shard {spec.shard_index} after "
+            f"{completed} pipeline(s)")
+    if fault.mode == "kill" and in_worker:
         os._exit(17)
     raise WorkerCrashError(
         spec.shard_index,
@@ -225,7 +237,8 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
               allow_crash: bool = True,
               trace_ctx: TraceContext | None = None,
               serialize: bool = False,
-              profile: bool = False) -> ShardResult:
+              profile: bool = False,
+              attempt: int = 1) -> ShardResult:
     """Simulate one shard into a private store (worker entry point).
 
     Runs in a worker process (or inline for workers=1): installs a
@@ -249,12 +262,20 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
     samples this thread for the shard's whole lifetime; the folded
     stacks ship home in :attr:`ShardResult.profile` (and land in the
     journal as ``shard-NNNN.folded``) for coordinator-side merging.
+
+    ``attempt`` is supervision provenance: attempt numbers > 1 (a
+    supervisor's reschedule or hedge copy) tag the heartbeat worker
+    name so ``fleet-status`` shows *which* attempt is beating. The
+    simulation itself is attempt-invariant — every attempt derives the
+    same per-pipeline rngs, which is what makes reschedules and hedge
+    copies byte-identical.
     """
     started = perf_counter()
-    crash = None
+    worker_fault = None
     if fault_plan is not None and allow_crash:
-        crash = fault_plan.worker_crash(spec.shard_index)
-    worker_name = f"shard-{spec.shard_index:04d}"
+        worker_fault = fault_plan.worker_fault(spec.shard_index)
+    worker_name = f"shard-{spec.shard_index:04d}" \
+        + (f"#a{attempt}" if attempt > 1 else "")
     heartbeat = None
     if journal_dir is not None:
         heartbeat = ShardHeartbeat(journal_dir, spec.shard_index,
@@ -270,6 +291,7 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
     worker_tracer = Tracer(context=trace_ctx) if trace_ctx else None
     previous_tracer = set_tracer(worker_tracer) if worker_tracer else None
     phases: dict[str, float] = {}
+    completed = 0
     try:
         registry = get_registry()
         pipelines_done = registry.counter("corpus.pipelines_generated")
@@ -289,7 +311,7 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
                       pipelines=spec.n_pipelines):
                 for offset, index in enumerate(range(spec.start,
                                                      spec.stop)):
-                    _maybe_crash(crash, spec, offset)
+                    _maybe_worker_fault(worker_fault, spec, offset)
                     rng = pipeline_rng(config.seed, index)
                     archetype, start_time = sample_pipeline_plan(
                         rng, config, index)
@@ -308,6 +330,7 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
                                 fault_injector=injector,
                                 retry_policy=retry_policy)
                     pipelines_done.value += 1
+                    completed = offset + 1
                     records.append(record)
                     if cache is not None:
                         hits += cache.hits
@@ -382,6 +405,14 @@ def run_shard(spec: ShardSpec, config: CorpusConfig,
             profile=profile_counts,
             snapshot_blob=blob,
             snapshot_direct=None if blob is not None else snapshot)
+    except Exception as exc:
+        # Dying-breath heartbeat: a shard that raises reports *failed*
+        # right now, so the driver (and fleet-status) never has to
+        # wait out the stall threshold to learn a worker is gone.
+        if heartbeat is not None:
+            heartbeat.beat("failed", completed, force=True,
+                           error=f"{type(exc).__name__}: {exc}")
+        raise
     finally:
         if sampler is not None:
             sampler.stop()
@@ -412,6 +443,10 @@ class FleetReport:
     merge_rows: int = 0
     spans_adopted: int = 0
     profile_folded: dict = field(default_factory=dict)
+    supervised: bool = False
+    #: :class:`~repro.fleet.supervisor.DegradationReport` of a
+    #: supervised run (None when unsupervised or nothing ran).
+    degradation: object | None = None
 
     @property
     def profile_samples(self) -> int:
@@ -503,7 +538,12 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                           retry_policy: RetryPolicy | None = None,
                           journal_dir: str | Path | None = None,
                           resume: bool = False,
-                          profile: bool = False
+                          profile: bool = False,
+                          supervise: bool = False,
+                          max_attempts: int = 3,
+                          stall_after: float | None = None,
+                          hedge_after: float | None = None,
+                          fault_budget: int | None = None
                           ) -> tuple[Corpus, FleetReport]:
     """Generate a corpus by sharded (optionally parallel) simulation.
 
@@ -540,15 +580,37 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
             ``report.profile_folded`` (and journaled per shard). A
             resumed shard contributes its journaled profile, if any —
             the flag is not part of the journal fingerprint.
+        supervise: Run shards under the in-run
+            :class:`~repro.fleet.supervisor.FleetSupervisor` —
+            crashed / hung / straggling workers are rescheduled,
+            hedged, or quarantined *during* the run instead of
+            aborting it. Requires a ``journal_dir``.
+        max_attempts: Supervised attempts per shard before it is
+            quarantined for this run.
+        stall_after: Seconds without a heartbeat before a supervised
+            worker counts as hung (also recorded in the journal
+            manifest so ``fleet-status`` uses the same threshold).
+            ``None`` uses :data:`~repro.obs.fleetwatch.DEFAULT_STALL_AFTER`.
+        hedge_after: Straggler factor: hedge a running shard once its
+            attempt is older than ``hedge_after`` × the median
+            completed-attempt duration. ``None`` disables hedging.
+        fault_budget: Cap on total supervised recovery attempts
+            (reschedules + hedges); exhaustion quarantines remaining
+            failures — fail-fast on systemic breakage. ``None`` is
+            unlimited.
 
     Returns:
         The merged :class:`Corpus` plus a :class:`FleetReport`. A run
         with failed shards still returns a valid (partial) corpus;
-        inspect ``report.failed_shards`` / ``report.complete``.
+        inspect ``report.failed_shards`` / ``report.complete`` (and
+        ``report.degradation`` when supervised).
     """
     config = config or CorpusConfig()
     if resume and journal_dir is None:
         raise ValueError("resume=True requires a journal_dir")
+    if supervise and journal_dir is None:
+        raise ValueError("supervise=True requires a journal_dir "
+                         "(heartbeats and attempt provenance live there)")
     started = perf_counter()
     tracer = get_tracer()
     registry = get_registry()
@@ -573,7 +635,10 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                     telemetry=telemetry, fault_plan=fault_plan,
                     retry_policy=retry_policy)
                 journal = ShardJournal(journal_dir, fingerprint)
-                journal.open(shards, resume=resume)
+                journal.open(shards, resume=resume, meta={
+                    "stall_after": stall_after
+                    if stall_after is not None else DEFAULT_STALL_AFTER,
+                    "supervised": bool(supervise)})
             _log.info("fleet_generation_started",
                       pipelines=config.n_pipelines, workers=len(shards),
                       seed=config.seed, exec_cache=exec_cache,
@@ -612,12 +677,15 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
         }
         payload_dir = journal.directory if journal is not None else None
 
-        def trace_ctx_for(spec: ShardSpec) -> TraceContext | None:
+        def trace_ctx_for(spec: ShardSpec,
+                          attempt: int = 1) -> TraceContext | None:
             if not tracer.enabled:
                 return None
+            worker = f"shard-{spec.shard_index:04d}" \
+                + (f"#a{attempt}" if attempt > 1 else "")
             return TraceContext(trace_id=trace_id,
                                 root_span_id=run_span.span_id,
-                                worker=f"shard-{spec.shard_index:04d}")
+                                worker=worker)
 
         def record_done(spec: ShardSpec, result: ShardResult) -> None:
             results[spec.shard_index] = result
@@ -649,9 +717,34 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                                f"{type(exc).__name__}: {exc}")
 
         used_processes = False
+        degradation = None
         with _timed_phase(phases, "simulate", shards=len(to_run)):
-            if to_run and (len(shards) == 1 or in_process
-                           or len(to_run) == 1):
+            if to_run and supervise:
+                from .supervisor import FleetSupervisor, SupervisorPolicy
+
+                supervisor = FleetSupervisor(
+                    config, journal,
+                    SupervisorPolicy(
+                        max_attempts=max_attempts,
+                        stall_after=stall_after
+                        if stall_after is not None else DEFAULT_STALL_AFTER,
+                        hedge_after=hedge_after,
+                        fault_budget=fault_budget),
+                    telemetry=telemetry, exec_cache=exec_cache,
+                    fault_plan=fault_plan, retry_policy=retry_policy,
+                    trace_ctx_for=trace_ctx_for, profile=profile,
+                    in_process=in_process)
+                sup_results, sup_failures, degradation = supervisor.run(
+                    to_run, allow_crash,
+                    planned_pipelines=config.n_pipelines,
+                    planned_shards=len(shards),
+                    pre_merged_pipelines=sum(
+                        r.spec.n_pipelines for r in results.values()))
+                results.update(sup_results)
+                failures.update(sup_failures)
+                used_processes = supervisor.used_processes
+            elif to_run and (len(shards) == 1 or in_process
+                             or len(to_run) == 1):
                 for spec in to_run:
                     run_inline(spec)
             elif to_run:
@@ -733,6 +826,8 @@ def generate_corpus_fleet(config: CorpusConfig | None = None,
                              exec_cache=exec_cache,
                              used_processes=used_processes,
                              resumed_shards=resumed,
+                             supervised=supervise,
+                             degradation=degradation,
                              journal_dir=str(journal.directory)
                              if journal is not None else "")
         done = 0

@@ -76,8 +76,15 @@ class ShardHeartbeat:
         self.started_unix = time.time()
         self._last_write = 0.0
 
-    def beat(self, phase: str, done: int, force: bool = False) -> bool:
-        """Report progress; returns whether a write actually happened."""
+    def beat(self, phase: str, done: int, force: bool = False,
+             error: str = "") -> bool:
+        """Report progress; returns whether a write actually happened.
+
+        ``phase="failed"`` (with an ``error``) is the worker's dying
+        breath: written from the shard's exception path so the driver
+        sees *failed* immediately instead of a silent stall that only
+        crosses ``stall_after`` seconds later.
+        """
         now = time.time()
         if not force and now - self._last_write < self.min_interval:
             return False
@@ -93,6 +100,8 @@ class ShardHeartbeat:
             "started_unix": self.started_unix,
             "updated_unix": now,
         }
+        if error:
+            record["error"] = error
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:
             tmp.write_text(json.dumps(record))
@@ -127,7 +136,8 @@ class ShardStatus:
     shard_index: int
     start: int
     stop: int
-    state: str = "pending"  # pending | running | stalled | done | failed
+    # pending | running | stalled | done | failed | quarantined
+    state: str = "pending"
     phase: str = ""
     worker: str = ""
     pipelines_done: int = 0
@@ -136,6 +146,7 @@ class ShardStatus:
     pipelines_per_sec: float | None = None
     crashes: int = 0
     error: str = ""
+    attempt: int = 0
 
     @property
     def pipelines_total(self) -> int:
@@ -154,6 +165,8 @@ class FleetStatus:
     pipelines_done: int = 0
     eta_seconds: float | None = None
     needs_resume: bool = False
+    degradation: dict | None = None
+    stall_after: float = DEFAULT_STALL_AFTER
 
     @property
     def complete(self) -> bool:
@@ -178,7 +191,9 @@ class FleetStatus:
             "pipelines_total": self.pipelines_total,
             "pipelines_done": self.pipelines_done,
             "eta_seconds": self.eta_seconds,
+            "stall_after": self.stall_after,
             "counts": self.counts(),
+            "degradation": self.degradation,
             "shards": [{
                 "shard_index": s.shard_index,
                 "state": s.state,
@@ -191,12 +206,13 @@ class FleetStatus:
                 "pipelines_per_sec": s.pipelines_per_sec,
                 "crashes": s.crashes,
                 "error": s.error,
+                "attempt": s.attempt,
             } for s in self.shards],
         }
 
 
 def collect_fleet_status(journal_dir: str | Path,
-                         stall_after: float = DEFAULT_STALL_AFTER,
+                         stall_after: float | None = None,
                          now: float | None = None) -> FleetStatus:
     """Read a run's journal dir into a :class:`FleetStatus`.
 
@@ -204,6 +220,14 @@ def collect_fleet_status(journal_dir: str | Path,
     entries say what ``--resume`` would redo), and absent/cleaned-up
     journals (``exists=False`` — the run finished and tidied up, or
     never started). ``now`` is injectable for tests.
+
+    ``stall_after=None`` (the default) reads the threshold the run
+    itself declared in the manifest's ``meta`` — so ``fleet-status``
+    and the run's own supervisor agree on what counts as stalled —
+    falling back to :data:`DEFAULT_STALL_AFTER` for older journals.
+    A supervised run's live heartbeats are found under
+    ``attempts/shard-NNNN-aK/`` (the freshest attempt wins); promoted
+    winners land on the canonical path, which takes precedence.
     """
     journal_dir = Path(journal_dir)
     manifest_path = journal_dir / "manifest.json"
@@ -215,15 +239,31 @@ def collect_fleet_status(journal_dir: str | Path,
                   for i, a, b in manifest.get("shards", [])]
     except (json.JSONDecodeError, TypeError, ValueError):
         return FleetStatus(journal_dir=journal_dir, exists=False)
+    if stall_after is None:
+        meta = manifest.get("meta", {})
+        meta = meta if isinstance(meta, dict) else {}
+        try:
+            stall_after = float(meta.get("stall_after",
+                                         DEFAULT_STALL_AFTER))
+        except (TypeError, ValueError):
+            stall_after = DEFAULT_STALL_AFTER
     if now is None:
         now = time.time()
 
-    status = FleetStatus(journal_dir=journal_dir)
+    status = FleetStatus(journal_dir=journal_dir,
+                         stall_after=stall_after)
+    try:
+        degradation = json.loads(
+            (journal_dir / "degradation.json").read_text())
+        status.degradation = degradation \
+            if isinstance(degradation, dict) else None
+    except (OSError, json.JSONDecodeError):
+        status.degradation = None
     rates: list[float] = []
     for shard_index, start, stop in layout:
         shard = ShardStatus(shard_index=shard_index, start=start, stop=stop)
         entry = _read_outcome(journal_dir, shard_index)
-        beat = read_status_file(status_path(journal_dir, shard_index))
+        beat = _freshest_beat(journal_dir, shard_index)
         if beat is not None:
             shard.phase = str(beat.get("phase", ""))
             shard.worker = str(beat.get("worker", ""))
@@ -236,13 +276,24 @@ def collect_fleet_status(journal_dir: str | Path,
             elapsed = updated - float(beat.get("started_unix", updated))
             if elapsed > 0 and shard.pipelines_done:
                 shard.pipelines_per_sec = shard.pipelines_done / elapsed
+        if entry is not None:
+            shard.attempt = int(entry.get("attempt", 0) or 0)
         if entry is not None and entry.get("status") == "done":
             shard.state = "done"
             shard.pipelines_done = shard.pipelines_total
+        elif entry is not None and entry.get("status") == "quarantined":
+            shard.state = "quarantined"
+            shard.crashes = int(entry.get("crashes", 0))
+            shard.error = (entry.get("error_kind", "") or "quarantined")
         elif entry is not None and entry.get("status") == "failed":
             shard.state = "failed"
             shard.crashes = int(entry.get("crashes", 0))
             shard.error = (entry.get("error_kind", "") or "failed")
+        elif beat is not None and beat.get("phase") == "failed":
+            # The worker's dying-breath beat: failed *now*, not
+            # "stalled until the threshold notices".
+            shard.state = "failed"
+            shard.error = str(beat.get("error", "") or "failed")
         elif beat is not None:
             stale = (shard.seconds_since_beat is not None
                      and shard.seconds_since_beat > stall_after)
@@ -253,8 +304,9 @@ def collect_fleet_status(journal_dir: str | Path,
         if shard.state == "running" and shard.pipelines_per_sec:
             rates.append(shard.pipelines_per_sec)
 
-    status.needs_resume = any(s.state in ("failed", "pending", "stalled")
-                              for s in status.shards)
+    status.needs_resume = any(
+        s.state in ("failed", "pending", "stalled", "quarantined")
+        for s in status.shards)
     remaining = status.pipelines_total - status.pipelines_done
     if remaining > 0 and rates:
         # Active workers carry the remainder at their combined rate;
@@ -264,6 +316,38 @@ def collect_fleet_status(journal_dir: str | Path,
     elif remaining == 0:
         status.eta_seconds = 0.0
     return status
+
+
+def _freshest_beat(journal_dir: Path, shard_index: int) -> dict | None:
+    """The shard's most recent heartbeat, canonical or per-attempt.
+
+    A supervised run heartbeats into private attempt directories until
+    the winning attempt is promoted; an unsupervised run writes the
+    canonical path directly. The canonical file wins when present
+    (it is the promoted, final state); otherwise the freshest attempt
+    beat represents the shard.
+    """
+    beat = read_status_file(status_path(journal_dir, shard_index))
+    if beat is not None:
+        return beat
+    attempts_root = journal_dir / "attempts"
+    prefix = f"shard-{shard_index:04d}-a"
+    best: dict | None = None
+    try:
+        attempt_dirs = sorted(attempts_root.iterdir())
+    except OSError:
+        return None
+    for attempt_dir in attempt_dirs:
+        if not attempt_dir.name.startswith(prefix):
+            continue
+        candidate = read_status_file(
+            attempt_dir / f"shard-{shard_index:04d}.status.json")
+        if candidate is None:
+            continue
+        if best is None or (candidate.get("updated_unix", 0.0)
+                            > best.get("updated_unix", 0.0)):
+            best = candidate
+    return best
 
 
 def _read_outcome(journal_dir: Path, shard_index: int) -> dict | None:
@@ -288,11 +372,13 @@ def render_fleet_status(status: FleetStatus) -> str:
     lines = [f"fleet journal: {status.journal_dir}"]
     for s in status.shards:
         detail = s.phase or s.state
-        if s.state == "failed" and s.error:
-            detail = f"failed: {s.error}"
+        if s.state in ("failed", "quarantined") and s.error:
+            detail = f"{s.state}: {s.error}"
             if s.crashes:
                 detail += f" (crashes={s.crashes})"
         extras = []
+        if s.attempt > 1:
+            extras.append(f"attempt {s.attempt}")
         if s.pipelines_per_sec:
             extras.append(f"{s.pipelines_per_sec:.2f} pl/s")
         if s.rss_mb is not None:
@@ -312,7 +398,13 @@ def render_fleet_status(status: FleetStatus) -> str:
         lines.append("  all shards done")
     elif status.eta_seconds is not None and status.eta_seconds > 0:
         lines.append(f"  eta ~{status.eta_seconds:.0f}s at current throughput")
+    if status.degradation is not None:
+        # Deferred import: the supervisor imports this module.
+        from ..fleet.supervisor import (DegradationReport,
+                                        render_degradation)
+        lines.append(render_degradation(
+            DegradationReport.from_dict(status.degradation)))
     if status.needs_resume:
         lines.append("  interrupted? re-run with --resume to finish "
-                     "pending/failed shards")
+                     "pending/failed/quarantined shards")
     return "\n".join(lines)

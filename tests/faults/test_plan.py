@@ -58,6 +58,32 @@ class TestParse:
         with pytest.raises(ValueError):
             FaultPlan.parse("meteor:*:0.1")
 
+    def test_worker_hang_grammar(self):
+        plan = FaultPlan.parse("worker_hang:2:1")
+        spec = plan.worker_fault(2)
+        assert spec.kind is FaultKind.WORKER_HANG
+        assert spec.after_pipelines == 1
+        assert not spec.repeat
+        # Hangs are not crashes: the legacy crash lookup skips them.
+        assert plan.worker_crash(2) is None
+
+    def test_repeat_tail_re_arms_every_attempt(self):
+        crash = FaultPlan.parse("worker_crash:0:1:kill:repeat")
+        assert crash.worker_fault(0).repeat
+        assert crash.worker_fault(0).mode == "kill"
+        hang = FaultPlan.parse("worker_hang:1:2:repeat")
+        assert hang.worker_fault(1).repeat
+        assert "every attempt" in hang.describe()
+
+    def test_repeat_rejected_on_operator_faults(self):
+        with pytest.raises(ValueError, match="worker faults"):
+            FaultSpec(kind=FaultKind.TRANSIENT, operator="*",
+                      probability=0.1, repeat=True)
+
+    def test_worker_hang_json_round_trip(self):
+        plan = FaultPlan.parse("worker_hang:3:1:repeat", seed=5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
     def test_json_round_trip(self):
         plan = FaultPlan.parse("store_write:Pusher:0.1;worker_crash:0",
                                seed=4)

@@ -516,6 +516,71 @@ class TestChaosEndToEnd:
                      "--out", str(baseline)]) == 0
         assert _dump(crashed) == _dump(baseline)
 
+    def test_supervised_crash_recovers_in_run(self, tmp_path, capsys):
+        # The self-healing counterpart: same chaos plan, but with
+        # --supervise the crash is rescheduled in-run — no exit 3, no
+        # manual resume, and the saved store matches the fault-free
+        # workers=1 baseline byte for byte.
+        healed = tmp_path / "healed.db"
+        code = main(["generate", *CHAOS_ARGS, "--workers", "3",
+                     "--supervise", "--out", str(healed)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "supervised" in out
+        assert "recovered run" in out
+        assert "1 reschedule(s)" in out
+        baseline = tmp_path / "baseline.db"
+        assert main(["generate", *CHAOS_ARGS, "--workers", "1",
+                     "--out", str(baseline)]) == 0
+        assert _dump(healed) == _dump(baseline)
+
+    def test_quarantine_prints_exact_resume_command(self, tmp_path,
+                                                    capsys):
+        out_db = tmp_path / "quarantined.db"
+        argv = ["generate", "--pipelines", "6", "--seed", "11",
+                "--max-graphlets", "8", "--workers", "3",
+                "--no-telemetry",
+                "--fault-plan", "worker_crash:0:1:repeat",
+                "--fault-seed", "3",
+                "--supervise", "--max-attempts", "2",
+                "--out", str(out_db)]
+        code = main(argv)
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "PARTIAL RUN" in out
+        assert "degraded run: 4/6 pipelines merged" in out
+        assert "resume with exactly:" in out
+        (resume_line,) = [line.strip() for line in out.splitlines()
+                          if line.strip().startswith("repro generate")]
+        # The printed command replays every flag of this invocation
+        # plus --resume; running it (minus the binary name) converges.
+        assert "--supervise" in resume_line
+        assert "--max-attempts 2" in resume_line
+        assert resume_line.endswith("--resume")
+        assert main(["fleet-status", str(out_db)]) == 0
+        rendered = capsys.readouterr().out
+        assert "quarantined" in rendered
+        assert "4/6 pipelines merged" in rendered
+        import shlex
+        assert main(shlex.split(resume_line)[1:]) == 0
+
+    def test_parser_supervision_flags(self):
+        args = build_parser().parse_args(["generate"])
+        assert not args.supervise
+        assert args.max_attempts == 3
+        assert args.stall_after is None
+        assert args.hedge_after is None
+        assert args.fault_budget is None
+        args = build_parser().parse_args(
+            ["generate", "--supervise", "--max-attempts", "5",
+             "--stall-after", "12", "--hedge-after", "2.5",
+             "--fault-budget", "4"])
+        assert args.supervise
+        assert args.max_attempts == 5
+        assert args.stall_after == 12.0
+        assert args.hedge_after == 2.5
+        assert args.fault_budget == 4
+
     def test_faults_summary_renders(self, faulted_corpus, capsys):
         assert main(["faults", str(faulted_corpus)]) == 0
         out = capsys.readouterr().out

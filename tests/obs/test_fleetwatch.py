@@ -185,3 +185,101 @@ class TestCollect:
         assert payload["complete"]
         assert payload["counts"] == {"done": 1}
         assert payload["shards"][0]["state"] == "done"
+
+
+class TestSupervisionStatus:
+    def test_dying_breath_beat_is_failed_not_stalled(self, tmp_path):
+        journal = tmp_path / "run.shards"
+        write_manifest(journal, [[0, 0, 5]])
+        hb = ShardHeartbeat(journal, 0, total=5)
+        hb.beat("failed", 2, force=True, error="ValueError: boom")
+        # Seconds after the beat — far inside the stall threshold — the
+        # shard already reads as failed, not running.
+        beat = read_status_file(status_path(journal, 0))
+        status = collect_fleet_status(journal, stall_after=30.0,
+                                      now=beat["updated_unix"] + 1.0)
+        assert status.shards[0].state == "failed"
+        assert status.shards[0].error == "ValueError: boom"
+        assert status.needs_resume
+        assert "failed: ValueError: boom" in render_fleet_status(status)
+
+    def test_stall_threshold_defaults_from_manifest_meta(self, tmp_path):
+        journal = tmp_path / "run.shards"
+        journal.mkdir(parents=True)
+        (journal / "manifest.json").write_text(json.dumps(
+            {"fingerprint": "x", "shards": [[0, 0, 5]],
+             "meta": {"stall_after": 2.0}}))
+        hb = ShardHeartbeat(journal, 0, total=5)
+        hb.beat("simulate", 1, force=True)
+        beat = read_status_file(status_path(journal, 0))
+        status = collect_fleet_status(journal,
+                                      now=beat["updated_unix"] + 10.0)
+        assert status.stall_after == 2.0
+        assert status.shards[0].state == "stalled"
+        # An explicit threshold still overrides the manifest's.
+        wide = collect_fleet_status(journal, stall_after=60.0,
+                                    now=beat["updated_unix"] + 10.0)
+        assert wide.shards[0].state == "running"
+
+    def test_quarantined_entry_needs_resume(self, tmp_path):
+        journal = tmp_path / "run.shards"
+        write_manifest(journal, [[0, 0, 5], [1, 5, 10]])
+        write_outcome(journal, 0, {"status": "done"})
+        write_outcome(journal, 1, {"status": "quarantined", "attempt": 3,
+                                   "error_kind": "worker_hang",
+                                   "error_message": "no heartbeat"})
+        status = collect_fleet_status(journal)
+        shard = status.shards[1]
+        assert shard.state == "quarantined"
+        assert shard.attempt == 3
+        assert status.needs_resume
+        assert not status.complete
+        rendered = render_fleet_status(status)
+        assert "quarantined: worker_hang" in rendered
+        assert "attempt 3" in rendered
+
+    def test_freshest_attempt_heartbeat_wins(self, tmp_path):
+        journal = tmp_path / "run.shards"
+        write_manifest(journal, [[0, 0, 10]])
+        # A supervised run heartbeats in private attempt directories;
+        # with no canonical status file the freshest attempt speaks.
+        for attempt, done in ((1, 3), (2, 6)):
+            attempt_dir = journal / "attempts" / f"shard-0000-a{attempt}"
+            attempt_dir.mkdir(parents=True)
+            ShardHeartbeat(attempt_dir, 0, total=10).beat(
+                "simulate", done, force=True)
+        status = collect_fleet_status(journal)
+        assert status.shards[0].state == "running"
+        assert status.shards[0].pipelines_done == 6
+        # Promotion makes the canonical file authoritative again.
+        ShardHeartbeat(journal, 0, total=10).beat("merge", 10, force=True)
+        promoted = collect_fleet_status(journal)
+        assert promoted.shards[0].pipelines_done == 10
+
+    def test_degradation_report_surfaces(self, tmp_path):
+        journal = tmp_path / "run.shards"
+        write_manifest(journal, [[0, 0, 3], [1, 3, 6]])
+        write_outcome(journal, 0, {"status": "done"})
+        write_outcome(journal, 1, {"status": "quarantined", "attempt": 2,
+                                   "error_kind": "worker_crash"})
+        (journal / "degradation.json").write_text(json.dumps({
+            "planned_pipelines": 6, "planned_shards": 2,
+            "merged_pipelines": 3, "lost_pipelines": 3,
+            "degraded": True, "reschedules": 1,
+            "quarantined": [{"shard_index": 1, "start": 3, "stop": 6,
+                             "attempts": 2,
+                             "failure_kind": "worker_crash",
+                             "message": "boom",
+                             "reason": "max_attempts"}]}))
+        status = collect_fleet_status(journal)
+        assert status.degradation["degraded"] is True
+        payload = json.loads(json.dumps(status.to_dict()))
+        assert payload["degradation"]["lost_pipelines"] == 3
+        rendered = render_fleet_status(status)
+        assert "3/6 pipelines merged" in rendered
+
+    def test_torn_degradation_report_is_ignored(self, tmp_path):
+        journal = tmp_path / "run.shards"
+        write_manifest(journal, [[0, 0, 3]])
+        (journal / "degradation.json").write_text("{not json")
+        assert collect_fleet_status(journal).degradation is None
